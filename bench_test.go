@@ -1,0 +1,269 @@
+// Package repro_test holds the benchmark harness: one testing.B benchmark
+// per paper table and figure, each invoking the same experiment code the
+// cmd tools use (internal/expers). Benchmarks report the figure's
+// headline quantity as custom metrics, so `go test -bench=. -benchmem`
+// both times the experiment pipeline and regenerates the key numbers.
+//
+// Simulation-backed benchmarks (Fig. 4) run scaled-down instruction
+// windows to keep bench time reasonable; the full-scale official run is
+// `cmd/pcs-sim` (see EXPERIMENTS.md for its recorded output).
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpusim"
+	"repro/internal/expers"
+	"repro/internal/multicore"
+	"repro/internal/trace"
+)
+
+// BenchmarkFig2BER regenerates the SRAM bit-error-rate curve (Fig. 2).
+func BenchmarkFig2BER(b *testing.B) {
+	var pts []expers.Fig2Point
+	for i := 0; i < b.N; i++ {
+		pts, _ = expers.Fig2()
+	}
+	b.ReportMetric(pts[len(pts)-1].BER*1e12, "BER@1.0V(e-12)")
+	b.ReportMetric(pts[0].BER*1e3, "BER@0.3V(e-3)")
+}
+
+// BenchmarkFig3aPowerCapacity regenerates the static power vs effective
+// capacity comparison (Fig. 3a) and reports the FFT-Cache gap at the
+// 99 % capacity point (paper: 28.2 % with 3 VDD levels).
+func BenchmarkFig3aPowerCapacity(b *testing.B) {
+	var gap3 float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		gap3, err = expers.Fig3aGapAt99(expers.L1ConfigA(), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(gap3*100, "gap3lvl-%")
+}
+
+// BenchmarkFig3bCapacity regenerates the usable-blocks curves (Fig. 3b).
+func BenchmarkFig3bCapacity(b *testing.B) {
+	var rows []expers.Fig3bRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = expers.Fig3b(expers.L1ConfigA())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Capacity retained at 0.54 V (grid index for 0.54 from 0.30).
+	b.ReportMetric(rows[24].Proposed*100, "proposedCap@0.54V-%")
+	b.ReportMetric(rows[24].FFTCache*100, "fftCap@0.54V-%")
+}
+
+// BenchmarkFig3cLeakage regenerates the leakage breakdown (Fig. 3c).
+func BenchmarkFig3cLeakage(b *testing.B) {
+	var rows []expers.Fig3cRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = expers.Fig3c(expers.L1ConfigA())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[len(rows)-1].TotalW*1e3, "totalLeak@1.0V-mW")
+}
+
+// BenchmarkFig3dYield regenerates the five-scheme yield comparison
+// (Fig. 3d) and reports each scheme's min-VDD at 99 % yield.
+func BenchmarkFig3dYield(b *testing.B) {
+	var rows []expers.MinVDDRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, _, err = expers.Fig3d(expers.L1ConfigA())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, _, err = expers.MinVDDs(expers.L1ConfigA())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.OK {
+			b.ReportMetric(r.MinVDD, "minVDD-"+r.Scheme)
+		}
+	}
+}
+
+// BenchmarkAreaOverhead regenerates the Sec. 4.2 area-overhead table
+// (paper: 2-5 % total in the worst case).
+func BenchmarkAreaOverhead(b *testing.B) {
+	var rows []expers.AreaRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = expers.AreaOverheads()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 0.0
+	for _, r := range rows {
+		if r.OverheadFraction > worst {
+			worst = r.OverheadFraction
+		}
+	}
+	b.ReportMetric(worst*100, "worstOverhead-%")
+}
+
+// BenchmarkMinVDDvsAssoc regenerates the Sec. 3.1 design-space claim:
+// higher associativity lowers the yield-constrained min-VDD.
+func BenchmarkMinVDDvsAssoc(b *testing.B) {
+	var plans []expers.VDDPlanRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		plans, _, err = expers.VDDPlans()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(plans[0].VDD1, "VDD1-L1A")
+	b.ReportMetric(plans[3].VDD1, "VDD1-L2B")
+}
+
+// fig4Bench runs a scaled-down Fig. 4 for one configuration over a
+// representative benchmark subset and reports the headline savings.
+func fig4Bench(b *testing.B, cfg cpusim.SystemConfig) {
+	b.Helper()
+	names := []string{"hmmer.s", "bzip2.s", "mcf.s", "libquantum.s"}
+	opts := cpusim.RunOptions{WarmupInstr: 200_000, SimInstr: 1_000_000, Seed: 1}
+	var sum expers.Summary
+	for i := 0; i < b.N; i++ {
+		data := expers.Fig4Data{Config: cfg.Name}
+		for _, name := range names {
+			w, ok := trace.ByName(name)
+			if !ok {
+				b.Fatalf("workload %s missing", name)
+			}
+			row := expers.Fig4Row{Workload: name}
+			var err error
+			if row.Baseline, err = cpusim.Run(cfg, core.Baseline, w, opts); err != nil {
+				b.Fatal(err)
+			}
+			if row.SPCS, err = cpusim.Run(cfg, core.SPCS, w, opts); err != nil {
+				b.Fatal(err)
+			}
+			if row.DPCS, err = cpusim.Run(cfg, core.DPCS, w, opts); err != nil {
+				b.Fatal(err)
+			}
+			data.Rows = append(data.Rows, row)
+		}
+		sum = expers.Summarise(data)
+	}
+	b.ReportMetric(sum.MeanSavingSPCS*100, "meanSPCSsaving-%")
+	b.ReportMetric(sum.MeanSavingDPCS*100, "meanDPCSsaving-%")
+	b.ReportMetric(sum.MaxOverheadDPCS*100, "maxDPCSoverhead-%")
+}
+
+// BenchmarkFig4ConfigA regenerates the Fig. 4 simulation panels for
+// Config A (scaled; full run via cmd/pcs-sim).
+func BenchmarkFig4ConfigA(b *testing.B) { fig4Bench(b, cpusim.ConfigA()) }
+
+// BenchmarkFig4ConfigB regenerates the Fig. 4 simulation panels for
+// Config B (scaled; full run via cmd/pcs-sim).
+func BenchmarkFig4ConfigB(b *testing.B) { fig4Bench(b, cpusim.ConfigB()) }
+
+// BenchmarkDPCSParamSweep exercises the Sec. 5 policy design space: one
+// workload under three escape budgets (the pcs-sweep tool's -dpcs study).
+func BenchmarkDPCSParamSweep(b *testing.B) {
+	w, ok := trace.ByName("bzip2.s")
+	if !ok {
+		b.Fatal("bzip2.s missing")
+	}
+	opts := cpusim.RunOptions{WarmupInstr: 100_000, SimInstr: 500_000, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		for _, ht := range []float64{0.01, 0.03, 0.10} {
+			cfg := cpusim.ConfigA()
+			cfg.HighThreshold = ht
+			cfg.LowThreshold = ht / 2
+			if _, err := cpusim.Run(cfg, core.DPCS, w, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulated instructions per
+// second of the cpusim substrate (baseline mode, one hot workload).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, _ := trace.ByName("hmmer.s")
+	opts := cpusim.RunOptions{WarmupInstr: 0, SimInstr: 300_000, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cpusim.Run(cpusim.ConfigA(), core.Baseline, w, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(opts.SimInstr)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkCellComparison regenerates the bit-cell study (paper Sec. 2:
+// hardened 8T/10T cells vs 6T + the proposed mechanism).
+func BenchmarkCellComparison(b *testing.B) {
+	var rows []expers.CellRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = expers.CellComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].MinVDDWithPCS, "minVDD-6T+PCS")
+	b.ReportMetric(rows[2].MinVDDNoFT, "minVDD-10T-bare")
+}
+
+// BenchmarkLeakageTechniques regenerates the drowsy/decay/SPCS leakage
+// comparison (paper Sec. 2 related work, quantified).
+func BenchmarkLeakageTechniques(b *testing.B) {
+	var rows []expers.LeakageRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = expers.LeakageComparison(400_000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[1].LeakEnergyRel, "drowsyLeak-rel")
+	b.ReportMetric(rows[3].LeakEnergyRel, "spcsLeak-rel")
+}
+
+// BenchmarkPolicyAblation regenerates the DPCS damping ablation
+// (DESIGN.md §6).
+func BenchmarkPolicyAblation(b *testing.B) {
+	opts := cpusim.RunOptions{WarmupInstr: 100_000, SimInstr: 400_000, Seed: 1}
+	var rows []expers.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = expers.Ablation([]string{"hmmer.s"}, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].OverhdPct, "fullPolicyOverhead-%")
+	b.ReportMetric(rows[len(rows)-1].OverhdPct, "bareListing1Overhead-%")
+}
+
+// BenchmarkMulticore regenerates the multi-core coherence extension
+// (paper Sec. 5 future work).
+func BenchmarkMulticore(b *testing.B) {
+	cfg := multicore.DefaultConfig()
+	cfg.Cores = 2
+	w, _ := trace.ByName("gobmk.s")
+	var r multicore.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = multicore.Run(cfg, core.SPCS, w, 50_000, 200_000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.CoherenceInvalidations), "cohInvals")
+}

@@ -1,0 +1,172 @@
+// Command pcs-analytical regenerates the paper's analytical results:
+// Fig. 2 (SRAM BER vs VDD), Fig. 3a–d (power/capacity, usable blocks,
+// leakage breakdown, yield), the Sec. 4.2 area-overhead estimates, and
+// the computed Table-2 voltage plans.
+//
+// Usage:
+//
+//	pcs-analytical [-fig2] [-fig3a] [-fig3b] [-fig3c] [-fig3d]
+//	               [-area] [-vdd] [-gap] [-all] [-org l1a|l2a|l1b|l2b] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/cacti"
+	"repro/internal/expers"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcs-analytical: ")
+	var (
+		fig2  = flag.Bool("fig2", false, "print Fig. 2 (BER vs VDD)")
+		fig3a = flag.Bool("fig3a", false, "print Fig. 3a (static power vs effective capacity)")
+		fig3b = flag.Bool("fig3b", false, "print Fig. 3b (usable blocks vs VDD)")
+		fig3c = flag.Bool("fig3c", false, "print Fig. 3c (leakage breakdown vs VDD)")
+		fig3d = flag.Bool("fig3d", false, "print Fig. 3d (yield vs VDD)")
+		area  = flag.Bool("area", false, "print area overheads (Sec. 4.2)")
+		vdd   = flag.Bool("vdd", false, "print computed VDD plans (Table 2 voltages)")
+		gap   = flag.Bool("gap", false, "print the FFT-Cache gap at 99% capacity")
+		organ = flag.Bool("organize", false, "print the CACTI-style subarray organisation exploration")
+		all   = flag.Bool("all", false, "print everything")
+		orgN  = flag.String("org", "l1a", "cache organisation: l1a, l2a, l1b, l2b")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	org, err := pickOrg(*orgN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !(*fig2 || *fig3a || *fig3b || *fig3c || *fig3d || *area || *vdd || *gap || *organ) {
+		*all = true
+	}
+	out := os.Stdout
+	render := func(t *report.Table) {
+		if *csv {
+			err = t.RenderCSV(out)
+			fmt.Fprintln(out)
+		} else {
+			err = t.Render(out)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *all || *fig2 {
+		_, t := expers.Fig2()
+		render(t)
+	}
+	if *all || *fig3a {
+		_, t, err := expers.Fig3a(org, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(t)
+	}
+	if *all || *gap || *fig3a {
+		printGaps(out, org)
+	}
+	if *all || *fig3b {
+		_, t, err := expers.Fig3b(org)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(t)
+	}
+	if *all || *fig3c {
+		_, t, err := expers.Fig3c(org)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(t)
+	}
+	if *all || *fig3d {
+		_, t, err := expers.Fig3d(org)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(t)
+		_, mt, err := expers.MinVDDs(org)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(mt)
+	}
+	if *all || *area {
+		_, t, err := expers.AreaOverheads()
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(t)
+	}
+	if *all || *vdd {
+		_, t, err := expers.VDDPlans()
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(t)
+	}
+	if *all || *organ {
+		printOrganization(org, render)
+	}
+}
+
+// printOrganization shows the subarray-partition exploration for the
+// selected cache (the optimisation CACTI ran for the paper).
+func printOrganization(org cacti.Org, render func(*report.Table)) {
+	all, err := cacti.Explore(org, cacti.DefaultWireParams(), 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Subarray organisation exploration (%s), best EDP first", org.Name),
+		"Ndwl", "Ndbl", "Subarray", "Access (ns)", "Read (pJ)", "Area (mm²)", "EDP")
+	limit := len(all)
+	if limit > 10 {
+		limit = 10
+	}
+	for _, o := range all[:limit] {
+		t.AddRow(o.NDWL, o.NDBL,
+			fmt.Sprintf("%dx%d", o.SubRows, o.SubCols),
+			fmt.Sprintf("%.3f", o.AccessNS),
+			fmt.Sprintf("%.2f", o.ReadEnergyPJ),
+			fmt.Sprintf("%.3f", o.AreaMM2),
+			fmt.Sprintf("%.3f", o.EDP))
+	}
+	render(t)
+}
+
+func pickOrg(name string) (cacti.Org, error) {
+	switch name {
+	case "l1a":
+		return expers.L1ConfigA(), nil
+	case "l2a":
+		return expers.L2ConfigA(), nil
+	case "l1b":
+		return expers.L1ConfigB(), nil
+	case "l2b":
+		return expers.L2ConfigB(), nil
+	default:
+		return cacti.Org{}, fmt.Errorf("unknown org %q (want l1a, l2a, l1b or l2b)", name)
+	}
+}
+
+func printGaps(w io.Writer, org cacti.Org) {
+	for _, n := range []int{1, 2} {
+		gap, err := expers.Fig3aGapAt99(org, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "Proposed vs FFT-Cache at 99%% capacity (%d VDD levels): %.1f%% lower static power\n",
+			n+1, gap*100)
+	}
+	fmt.Fprintln(w)
+}

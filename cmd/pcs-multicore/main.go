@@ -1,0 +1,98 @@
+// Command pcs-multicore runs the multi-core extension (the paper's
+// Sec. 5 future work): N cores with private power/capacity-scaled L1s
+// over one shared, coherently-maintained, PCS-managed L2. It sweeps the
+// core count and reports energy savings, execution overhead, L2 pressure
+// and coherence traffic for baseline, SPCS and DPCS.
+//
+// Usage:
+//
+//	pcs-multicore [-cores 1,2,4] [-bench name] [-instr N] [-warmup N]
+//	              [-shared frac] [-config A|B] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpusim"
+	"repro/internal/multicore"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcs-multicore: ")
+	var (
+		coresFlag = flag.String("cores", "1,2,4", "comma-separated core counts to sweep")
+		bench     = flag.String("bench", "gobmk.s", "workload run on every core")
+		instr     = flag.Uint64("instr", 2_000_000, "measured instructions per core")
+		warmup    = flag.Uint64("warmup", 400_000, "warm-up instructions per core")
+		shared    = flag.Float64("shared", 0.10, "fraction of data accesses to the shared region")
+		config    = flag.String("config", "A", "system configuration: A or B")
+		seed      = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	w, ok := trace.ByName(*bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q (known: %v)", *bench, trace.Names())
+	}
+	var sysCfg cpusim.SystemConfig
+	switch *config {
+	case "A", "a":
+		sysCfg = cpusim.ConfigA()
+	case "B", "b":
+		sysCfg = cpusim.ConfigB()
+	default:
+		log.Fatalf("unknown config %q", *config)
+	}
+
+	var counts []int
+	for _, p := range strings.Split(*coresFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			log.Fatalf("bad core count %q", p)
+		}
+		counts = append(counts, n)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Multi-core PCS: %s on Config %s, %d instr/core, %.0f%% shared data",
+			w.Name, sysCfg.Name, *instr, *shared*100),
+		"Cores", "Policy", "Cycles (max core)", "Exec ovh %", "L2 misses", "Coh. invals",
+		"Cache E (mJ)", "E saving %")
+	for _, n := range counts {
+		cfg := multicore.Config{
+			System:                 sysCfg,
+			Cores:                  n,
+			SharedBytes:            1 << 20,
+			SharedFrac:             *shared,
+			CoherencePenaltyCycles: 20,
+		}
+		var baseCycles uint64
+		var baseE float64
+		for _, mode := range []core.Mode{core.Baseline, core.SPCS, core.DPCS} {
+			r, err := multicore.Run(cfg, mode, w, *warmup, *instr, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if mode == core.Baseline {
+				baseCycles, baseE = r.GlobalCycles, r.TotalCacheEnergyJ
+			}
+			t.AddRow(n, mode.String(), r.GlobalCycles,
+				fmt.Sprintf("%+.2f", (float64(r.GlobalCycles)/float64(baseCycles)-1)*100),
+				r.L2.Misses, r.CoherenceInvalidations,
+				fmt.Sprintf("%.3f", r.TotalCacheEnergyJ*1e3),
+				fmt.Sprintf("%.1f", (1-r.TotalCacheEnergyJ/baseE)*100))
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+// Command pcs-report runs the complete reproduction — every analytical
+// figure, the Fig. 4 simulation matrix, and the extension studies — and
+// writes a single self-contained Markdown report with all tables
+// inlined. It is the one-command answer to "regenerate the paper".
+//
+// Usage:
+//
+//	pcs-report [-o report.md] [-instr N] [-quick]
+//
+// -quick shrinks the simulation windows ~10x for a fast smoke run; the
+// full default takes tens of minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/cpusim"
+	"repro/internal/expers"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcs-report: ")
+	var (
+		out   = flag.String("o", "report.md", "output Markdown path")
+		instr = flag.Uint64("instr", 24_000_000, "measured instructions per simulation run")
+		quick = flag.Bool("quick", false, "use ~10x smaller simulation windows")
+	)
+	flag.Parse()
+	if *quick {
+		*instr = 2_000_000
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	start := time.Now()
+	fmt.Fprintf(f, "# Power/Capacity Scaling — reproduction report\n\n")
+	fmt.Fprintf(f, "Generated %s; %d measured instructions per simulation run.\n\n",
+		time.Now().Format(time.RFC3339), *instr)
+
+	section := func(title string) { fmt.Fprintf(f, "## %s\n\n", title) }
+	table := func(t *report.Table) {
+		fmt.Fprintln(f, "```")
+		if err := t.Render(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(f, "```")
+		fmt.Fprintln(f)
+	}
+	must := func(t *report.Table, err error) *report.Table {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return t
+	}
+
+	section("Fig. 2 — SRAM bit error rate vs VDD")
+	_, t2 := expers.Fig2()
+	table(t2)
+
+	section("Fig. 3a — static power vs effective capacity (L1-A)")
+	_, t3a, err := expers.Fig3a(expers.L1ConfigA(), 2)
+	table(must(t3a, err))
+	for _, n := range []int{1, 2} {
+		gap, err := expers.Fig3aGapAt99(expers.L1ConfigA(), n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(f, "Proposed vs FFT-Cache at 99%% capacity, %d VDD levels: **%.1f%% lower** (paper: %s)\n\n",
+			n+1, gap*100, map[int]string{1: "17.8%", 2: "28.2%"}[n])
+	}
+
+	section("Fig. 3b — usable blocks vs VDD (L1-A)")
+	_, t3b, err := expers.Fig3b(expers.L1ConfigA())
+	table(must(t3b, err))
+
+	section("Fig. 3c — leakage breakdown vs VDD (L1-A)")
+	_, t3c, err := expers.Fig3c(expers.L1ConfigA())
+	table(must(t3c, err))
+
+	section("Fig. 3d — yield vs VDD, five schemes (L1-A)")
+	_, t3d, err := expers.Fig3d(expers.L1ConfigA())
+	table(must(t3d, err))
+	_, tmv, err := expers.MinVDDs(expers.L1ConfigA())
+	table(must(tmv, err))
+
+	section("Area overheads (Sec. 4.2; paper: 2–5 %)")
+	_, ta, err := expers.AreaOverheads()
+	table(must(ta, err))
+
+	section("Computed voltage plans (Table 2)")
+	_, tv, err := expers.VDDPlans()
+	table(must(tv, err))
+
+	section("Bit-cell comparison (Sec. 2 related work)")
+	_, tc, err := expers.CellComparison()
+	table(must(tc, err))
+
+	section("Leakage-technique comparison (Sec. 2 related work)")
+	_, tl, err := expers.LeakageComparison(minU(*instr, 2_000_000), 1)
+	table(must(tl, err))
+
+	section("Fig. 4 — simulation (16 benchmarks x baseline/SPCS/DPCS)")
+	opts := cpusim.RunOptions{WarmupInstr: maxU(*instr/12, 500_000), SimInstr: *instr, Seed: 1}
+	for _, cfg := range []cpusim.SystemConfig{cpusim.ConfigA(), cpusim.ConfigB()} {
+		fmt.Fprintf(os.Stderr, "simulating Config %s (%d instr x 48 runs)...\n", cfg.Name, *instr)
+		data, err := expers.Fig4(cfg, opts, os.Stderr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table(expers.Fig4PowerTable(data, "L1"))
+		table(expers.Fig4PowerTable(data, "L2"))
+		table(expers.Fig4OverheadTable(data))
+		table(expers.Fig4EnergyTable(data))
+		table(expers.SummaryTable(expers.Summarise(data)))
+		_, ts := expers.SystemWide(data, expers.DefaultSystemModel())
+		table(ts)
+	}
+
+	section("DPCS policy ablation (DESIGN.md §6)")
+	_, tab, err := expers.Ablation([]string{"hmmer.s", "sjeng.s"},
+		cpusim.RunOptions{WarmupInstr: opts.WarmupInstr, SimInstr: minU(*instr, 8_000_000), Seed: 1})
+	table(must(tab, err))
+
+	fmt.Fprintf(f, "---\nTotal generation time: %s\n", time.Since(start).Round(time.Second))
+	fmt.Println("wrote", *out)
+}
+
+func minU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,143 @@
+// Command pcs-sim runs the architectural simulation that regenerates the
+// paper's Fig. 4: the 16 SPEC-like workloads under baseline, SPCS and
+// DPCS for system Configs A and B, reporting per-benchmark cache power
+// (4a–d), execution-time overheads (4e–f) and normalised total cache
+// energy (4g–h), plus the headline averages.
+//
+// Usage:
+//
+//	pcs-sim [-config A|B|both] [-instr N] [-warmup N] [-seed S]
+//	        [-bench name] [-configs] [-csv] [-q]
+//
+// The default instruction counts are large enough for the one-time DPCS
+// transition costs to amortise as they would at the paper's
+// 2-billion-instruction scale; use smaller -instr for quick looks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cpusim"
+	"repro/internal/expers"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcs-sim: ")
+	var (
+		config  = flag.String("config", "both", "system configuration: A, B or both")
+		instr   = flag.Uint64("instr", 24_000_000, "measured instructions per run")
+		warmup  = flag.Uint64("warmup", 2_000_000, "warm-up instructions (fast-forward)")
+		seed    = flag.Uint64("seed", 1, "seed for fault maps and workloads")
+		bench   = flag.String("bench", "", "run a single named benchmark (e.g. mcf.s)")
+		configs = flag.Bool("configs", false, "print Tables 1-2 style configuration and exit")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet   = flag.Bool("q", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	if *configs {
+		printConfigs(os.Stdout)
+		return
+	}
+
+	var cfgs []cpusim.SystemConfig
+	switch *config {
+	case "A", "a":
+		cfgs = []cpusim.SystemConfig{cpusim.ConfigA()}
+	case "B", "b":
+		cfgs = []cpusim.SystemConfig{cpusim.ConfigB()}
+	case "both":
+		cfgs = []cpusim.SystemConfig{cpusim.ConfigA(), cpusim.ConfigB()}
+	default:
+		log.Fatalf("unknown config %q", *config)
+	}
+	opts := cpusim.RunOptions{WarmupInstr: *warmup, SimInstr: *instr, Seed: *seed}
+
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+
+	render := func(t *report.Table) {
+		var err error
+		if *csv {
+			err = t.RenderCSV(os.Stdout)
+			fmt.Println()
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for _, cfg := range cfgs {
+		if *bench != "" {
+			runSingle(cfg, *bench, opts)
+			continue
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "config %s: %d benchmarks x 3 modes, %d instr each\n",
+				cfg.Name, len(trace.Suite()), opts.SimInstr)
+		}
+		data, err := expers.Fig4(cfg, opts, progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(expers.Fig4PowerTable(data, "L1"))
+		render(expers.Fig4PowerTable(data, "L2"))
+		render(expers.Fig4OverheadTable(data))
+		render(expers.Fig4EnergyTable(data))
+		render(expers.SummaryTable(expers.Summarise(data)))
+	}
+}
+
+func runSingle(cfg cpusim.SystemConfig, name string, opts cpusim.RunOptions) {
+	w, ok := trace.ByName(name)
+	if !ok {
+		log.Fatalf("unknown benchmark %q (known: %v)", name, trace.Names())
+	}
+	for _, mode := range []core.Mode{core.Baseline, core.SPCS, core.DPCS} {
+		r, err := cpusim.Run(cfg, mode, w, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r)
+		for _, cr := range []cpusim.CacheResult{r.L1I, r.L1D, r.L2} {
+			fmt.Printf("  %-6s acc=%-9d miss=%-8d mr=%.4f wb=%-7d trans=%d E(mJ): static=%.4f dyn=%.4f\n",
+				cr.Name, cr.Stats.Accesses, cr.Stats.Misses, cr.Stats.MissRate(),
+				cr.Stats.Writebacks, cr.Transitions,
+				cr.Energy.StaticJ*1e3, cr.Energy.DynamicJ*1e3)
+		}
+	}
+}
+
+func printConfigs(w io.Writer) {
+	t := report.NewTable("System configurations (Table 2)", "Parameter", "Config A", "Config B")
+	a, b := cpusim.ConfigA(), cpusim.ConfigB()
+	row := func(name string, va, vb any) { t.AddRow(name, fmt.Sprint(va), fmt.Sprint(vb)) }
+	row("Clock (GHz)", a.ClockHz/1e9, b.ClockHz/1e9)
+	row("L1 size/assoc/hit", fmt.Sprintf("%dKB/%d/%dcyc", a.L1D.Org.SizeBytes>>10, a.L1D.Org.Assoc, a.L1D.HitCycles),
+		fmt.Sprintf("%dKB/%d/%dcyc", b.L1D.Org.SizeBytes>>10, b.L1D.Org.Assoc, b.L1D.HitCycles))
+	row("L2 size/assoc/hit", fmt.Sprintf("%dMB/%d/%dcyc", a.L2.Org.SizeBytes>>20, a.L2.Org.Assoc, a.L2.HitCycles),
+		fmt.Sprintf("%dMB/%d/%dcyc", b.L2.Org.SizeBytes>>20, b.L2.Org.Assoc, b.L2.HitCycles))
+	row("Block size (B)", a.L1D.Org.BlockBytes, b.L1D.Org.BlockBytes)
+	row("Memory latency (cyc)", a.MemCycles, b.MemCycles)
+	row("L1 interval (accesses)", a.L1D.Interval, b.L1D.Interval)
+	row("L2 interval (accesses)", a.L2.Interval, b.L2.Interval)
+	row("SuperInterval", a.SuperInterval, b.SuperInterval)
+	row("Thresholds low/high", fmt.Sprintf("%v/%v", a.LowThreshold, a.HighThreshold),
+		fmt.Sprintf("%v/%v", b.LowThreshold, b.HighThreshold))
+	row("Voltage penalty (cyc)", a.L2.VoltagePenaltyCycles, b.L2.VoltagePenaltyCycles)
+	if err := t.Render(w); err != nil {
+		log.Fatal(err)
+	}
+}

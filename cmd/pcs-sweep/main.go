@@ -1,0 +1,192 @@
+// Command pcs-sweep explores the design space around the paper's
+// mechanism — the studies its Sec. 3.1 and Sec. 5 (future work) point
+// at:
+//
+//   - -assoc: min-VDD versus associativity and block size (the paper's
+//     claim that higher associativity and smaller blocks lower min-VDD);
+//   - -levels: power at the SPCS point versus the number of allowed VDD
+//     levels (fault-map growth vs voltage granularity);
+//   - -dpcs: DPCS policy parameter sensitivity (interval and threshold
+//     sweep on one workload), the "more sophisticated policies" study.
+//
+// Usage:
+//
+//	pcs-sweep [-assoc] [-levels] [-dpcs] [-bench name] [-instr N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cpusim"
+	"repro/internal/expers"
+	"repro/internal/faultmodel"
+	"repro/internal/report"
+	"repro/internal/sram"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcs-sweep: ")
+	var (
+		assoc  = flag.Bool("assoc", false, "sweep associativity and block size vs min-VDD")
+		levels = flag.Bool("levels", false, "sweep the number of VDD levels")
+		dpcs   = flag.Bool("dpcs", false, "sweep DPCS policy parameters")
+		ablate = flag.Bool("ablate", false, "run the DPCS policy ablation study")
+		leak   = flag.Bool("leakage", false, "compare drowsy/decay/SPCS leakage techniques")
+		cells  = flag.Bool("cells", false, "compare 6T/8T/10T bit cells with and without PCS")
+		bench  = flag.String("bench", "bzip2.s", "benchmark for -dpcs")
+		instr  = flag.Uint64("instr", 4_000_000, "instructions for -dpcs and -ablate runs")
+	)
+	flag.Parse()
+	if !(*assoc || *levels || *dpcs || *ablate || *cells || *leak) {
+		*assoc, *levels, *dpcs, *ablate, *cells, *leak = true, true, true, true, true, true
+	}
+	if *assoc {
+		sweepAssoc()
+	}
+	if *levels {
+		sweepLevels()
+	}
+	if *cells {
+		sweepCells()
+	}
+	if *leak {
+		runLeakage(*instr)
+	}
+	if *dpcs {
+		sweepDPCS(*bench, *instr)
+	}
+	if *ablate {
+		runAblation(*instr)
+	}
+}
+
+// sweepAssoc reproduces the Sec. 3.1 claim: "Higher associativity and/or
+// smaller block sizes naturally result in lower min-VDD".
+func sweepAssoc() {
+	ber := sram.NewWangCalhounBER()
+	t := report.NewTable("Min-VDD (99% yield) vs associativity and block size, 64 KB cache",
+		"Block (B)", "1-way", "2-way", "4-way", "8-way", "16-way")
+	for _, blockB := range []int{16, 32, 64, 128} {
+		row := []any{blockB}
+		for _, ways := range []int{1, 2, 4, 8, 16} {
+			sets := (64 << 10) / (blockB * ways)
+			m, err := faultmodel.New(faultmodel.Geometry{
+				Sets: sets, Ways: ways, BlockBits: blockB * 8}, ber)
+			if err != nil {
+				log.Fatal(err)
+			}
+			v, ok := m.MinVDDForYield(0.99, 0.30, 1.00)
+			if !ok {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f", v))
+		}
+		t.AddRow(row...)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// sweepLevels shows the fault-map cost and SPCS-point power as the
+// number of allowed VDD levels grows ("our fault map approach should
+// scale well for more voltage levels").
+func sweepLevels() {
+	org := expers.L1ConfigA()
+	t := report.NewTable("VDD level count vs fault-map size and SPCS static power (L1-A)",
+		"Levels N", "FM bits/block", "Static power @ SPCS point (mW)")
+	for _, n := range []int{1, 2, 3, 7, 15} {
+		cs, err := expers.NewCacheSetup(org, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v2, ok := cs.FM.MinVDDForCapacity(0.99, 0.99, 0.30, 1.00)
+		if !ok {
+			log.Fatal("no SPCS point")
+		}
+		p := cs.CMPCS.StaticPower(v2, cs.FM.ExpectedCapacity(v2))
+		t.AddRow(n, cs.CMPCS.FMBitsPerBlock, fmt.Sprintf("%.3f", p.TotalW*1e3))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// sweepCells compares bit-cell designs (paper Sec. 2: hardened 8T/10T
+// cells vs 6T + the proposed mechanism).
+func sweepCells() {
+	_, t, err := expers.CellComparison()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runLeakage compares the Sec.-2 leakage-reduction baselines with SPCS.
+func runLeakage(instr uint64) {
+	_, t, err := expers.LeakageComparison(instr, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runAblation disables the DPCS damping refinements one at a time
+// (DESIGN.md §6) on a cache-friendly and a capacity-cliff workload.
+func runAblation(instr uint64) {
+	opts := cpusim.RunOptions{WarmupInstr: instr / 4, SimInstr: instr, Seed: 1}
+	_, t, err := expers.Ablation([]string{"hmmer.s", "sjeng.s"}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// sweepDPCS measures policy sensitivity: energy saving and overhead as
+// the sampling interval and escape budget vary.
+func sweepDPCS(bench string, instr uint64) {
+	w, ok := trace.ByName(bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", bench)
+	}
+	opts := cpusim.RunOptions{WarmupInstr: instr / 4, SimInstr: instr, Seed: 1}
+	base, err := cpusim.Run(cpusim.ConfigA(), core.Baseline, w, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := report.NewTable(
+		fmt.Sprintf("DPCS parameter sensitivity on %s (Config A, %d instr)", bench, instr),
+		"L2 interval", "High thresh", "Energy saving %", "Exec overhead %", "L2 transitions")
+	for _, interval := range []uint64{2_000, 10_000, 50_000} {
+		for _, ht := range []float64{0.01, 0.03, 0.10} {
+			cfg := cpusim.ConfigA()
+			cfg.L2.Interval = interval
+			cfg.HighThreshold = ht
+			cfg.LowThreshold = ht / 2
+			r, err := cpusim.Run(cfg, core.DPCS, w, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.AddRow(interval, ht,
+				fmt.Sprintf("%.1f", (1-r.TotalCacheEnergyJ/base.TotalCacheEnergyJ)*100),
+				fmt.Sprintf("%.2f", (float64(r.Cycles)/float64(base.Cycles)-1)*100),
+				r.L2.Transitions)
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

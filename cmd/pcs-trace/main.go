@@ -1,0 +1,225 @@
+// Command pcs-trace records the synthetic SPEC-like workloads to the
+// compact binary trace format and replays recorded traces through the
+// simulator. Recording makes runs exchangeable and exactly repeatable
+// across library versions — the trace, not the generator, becomes the
+// ground truth.
+//
+// Usage:
+//
+//	pcs-trace -record -bench mcf.s -n 1000000 -o mcf.trc
+//	pcs-trace -replay mcf.trc [-config A|B] [-mode baseline|spcs|dpcs] [-warmup N]
+//	pcs-trace -info mcf.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cpusim"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcs-trace: ")
+	var (
+		record = flag.Bool("record", false, "record a workload to a trace file")
+		replay = flag.String("replay", "", "trace file to replay through the simulator")
+		info   = flag.String("info", "", "trace file to summarise")
+		bench  = flag.String("bench", "hmmer.s", "workload to record")
+		n      = flag.Uint64("n", 1_000_000, "instructions to record")
+		out    = flag.String("o", "out.trc", "output trace path")
+		seed   = flag.Uint64("seed", 1, "generator seed for -record")
+		config = flag.String("config", "A", "system configuration for -replay")
+		mode   = flag.String("mode", "spcs", "policy for -replay: baseline, spcs or dpcs")
+		warmup = flag.Uint64("warmup", 100_000, "warm-up instructions for -replay")
+	)
+	flag.Parse()
+
+	switch {
+	case *record:
+		doRecord(*bench, *n, *out, *seed)
+	case *replay != "":
+		doReplay(*replay, *config, *mode, *warmup, *seed)
+	case *info != "":
+		doInfo(*info)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doRecord(bench string, n uint64, out string, seed uint64) {
+	w, ok := trace.ByName(bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q (known: %v)", bench, trace.Names())
+	}
+	g, err := trace.New(w, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Record(g, n, f); err != nil {
+		log.Fatal(err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d instructions of %s to %s (%.2f bytes/instr)\n",
+		n, bench, out, float64(st.Size())/float64(n))
+}
+
+func openReplay(path string) (*trace.ReplayGenerator, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	var open []io.Closer
+	open = append(open, f)
+	gen := trace.NewReplay(path, r, func() (*trace.Reader, error) {
+		f2, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		open = append(open, f2)
+		return trace.NewReader(f2)
+	})
+	closeAll := func() {
+		for _, c := range open {
+			c.Close()
+		}
+	}
+	return gen, closeAll, nil
+}
+
+func doReplay(path, config, modeName string, warmup, seed uint64) {
+	gen, closeAll, err := openReplay(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeAll()
+
+	// Count the trace first so the measured window fits the recording.
+	total, err := countTrace(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if warmup >= total {
+		log.Fatalf("warm-up %d exceeds trace length %d", warmup, total)
+	}
+
+	var cfg cpusim.SystemConfig
+	switch config {
+	case "A", "a":
+		cfg = cpusim.ConfigA()
+	case "B", "b":
+		cfg = cpusim.ConfigB()
+	default:
+		log.Fatalf("unknown config %q", config)
+	}
+	var m core.Mode
+	switch modeName {
+	case "baseline":
+		m = core.Baseline
+	case "spcs":
+		m = core.SPCS
+	case "dpcs":
+		m = core.DPCS
+	default:
+		log.Fatalf("unknown mode %q", modeName)
+	}
+
+	res, err := cpusim.RunGenerator(cfg, m, gen, cpusim.RunOptions{
+		WarmupInstr: warmup, SimInstr: total - warmup, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gen.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+}
+
+func doInfo(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ins trace.Instr
+	var total, mem, writes uint64
+	minA, maxA := ^uint64(0), uint64(0)
+	for {
+		if err := r.Read(&ins); err != nil {
+			if err == io.EOF {
+				break
+			}
+			log.Fatal(err)
+		}
+		total++
+		if ins.HasMem {
+			mem++
+			if ins.Write {
+				writes++
+			}
+			if ins.Addr < minA {
+				minA = ins.Addr
+			}
+			if ins.Addr > maxA {
+				maxA = ins.Addr
+			}
+		}
+	}
+	fmt.Printf("%s: %d instructions, %.1f%% memory ops (%.1f%% writes), data range [%#x, %#x]\n",
+		path, total, 100*float64(mem)/float64(total),
+		100*float64(writes)/float64(maxU(mem, 1)), minA, maxA)
+}
+
+func countTrace(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return 0, err
+	}
+	var ins trace.Instr
+	var total uint64
+	for {
+		if err := r.Read(&ins); err != nil {
+			if err == io.EOF {
+				return total, nil
+			}
+			return 0, err
+		}
+		total++
+	}
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

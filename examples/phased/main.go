@@ -1,0 +1,85 @@
+// Phased: watch the DPCS policy adapt to a workload whose working set
+// alternates between cache-hungry and cache-light phases — the paper's
+// motivating scenario for the dynamic policy ("if only 40% of the cache
+// is used in a window of execution, the cache is over-provisioned").
+// The example runs the full simulated system (split L1 + L2) and prints
+// where each cache spent its time on the voltage ladder.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cpusim"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const mb = 1 << 20
+	phased := trace.Workload{
+		Name: "phased-demo", CodeBytes: 64 << 10, JumpProb: 0.03, ZipfS: 1.1,
+		Phases: []trace.Phase{
+			// Cache-light: a 256 KB working set rattles around a 2 MB L2.
+			{Instructions: 6_000_000, WorkingSetBytes: 256 << 10,
+				Mix: trace.PatternMix{Zipf: 0.7, Seq: 0.15}, WriteFrac: 0.3, MemFrac: 0.4},
+			// Cache-hungry: a 3 MB working set overflows the L2.
+			{Instructions: 6_000_000, WorkingSetBytes: 3 * mb,
+				Mix: trace.PatternMix{Zipf: 0.5, Chase: 0.25}, WriteFrac: 0.3, MemFrac: 0.4},
+		},
+	}
+	opts := cpusim.RunOptions{WarmupInstr: 1_000_000, SimInstr: 12_000_000, Seed: 1}
+	cfg := cpusim.ConfigA()
+
+	results := map[core.Mode]cpusim.Result{}
+	for _, mode := range []core.Mode{core.Baseline, core.SPCS, core.DPCS} {
+		r, err := cpusim.Run(cfg, mode, phased, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[mode] = r
+	}
+
+	base := results[core.Baseline]
+	t := report.NewTable("Phased workload under the three policies (Config A)",
+		"Policy", "Cycles", "Exec overhead %", "Cache energy (mJ)", "Energy saving %")
+	for _, mode := range []core.Mode{core.Baseline, core.SPCS, core.DPCS} {
+		r := results[mode]
+		t.AddRow(mode.String(), r.Cycles,
+			fmt.Sprintf("%+.2f", (float64(r.Cycles)/float64(base.Cycles)-1)*100),
+			fmt.Sprintf("%.3f", r.TotalCacheEnergyJ*1e3),
+			fmt.Sprintf("%.1f", (1-r.TotalCacheEnergyJ/base.TotalCacheEnergyJ)*100))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	dpcs := results[core.DPCS]
+	lt := report.NewTable("DPCS time per voltage level (fraction of cycles)",
+		"Cache", "Levels (V)", "@VDD1", "@VDD2", "@VDD3", "Transitions")
+	for _, cr := range []cpusim.CacheResult{dpcs.L1I, dpcs.L1D, dpcs.L2} {
+		total := uint64(0)
+		for _, c := range cr.TimeAtLevelCycles {
+			total += c
+		}
+		frac := func(i int) string {
+			if i >= len(cr.TimeAtLevelCycles) || total == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f", float64(cr.TimeAtLevelCycles[i])/float64(total))
+		}
+		lt.AddRow(cr.Name, fmt.Sprintf("%.2f/%.2f/%.2f",
+			cr.LevelVolts[0], cr.LevelVolts[1], cr.LevelVolts[2]),
+			frac(0), frac(1), frac(2), cr.Transitions)
+	}
+	if err := lt.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("The dynamic policy rides the low-voltage levels through the small-working-set")
+	fmt.Println("phase and backs off when the large phase needs the capacity — SPCS cannot.")
+}

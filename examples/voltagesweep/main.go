@@ -1,0 +1,54 @@
+// Voltagesweep: walk the Config-A L1 cache down the 10 mV voltage grid
+// and print, at each step, the expected effective capacity, the cache
+// yield, the static-power decomposition and the access-delay penalty —
+// the raw material behind the paper's Fig. 3 plots, in one table.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/expers"
+	"repro/internal/faultmodel"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	cs, err := expers.NewCacheSetup(expers.L1ConfigA(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable("Power/capacity scaling sweep — 64 KB 4-way L1, 45 nm",
+		"VDD (V)", "Capacity", "Yield", "Cells mW", "Fixed mW", "Total mW", "Delay +%")
+	for _, v := range faultmodel.Grid(0.45, 1.00) {
+		capacity := cs.FM.ExpectedCapacity(v)
+		p := cs.CMPCS.StaticPower(v, capacity)
+		t.AddRow(
+			fmt.Sprintf("%.2f", v),
+			fmt.Sprintf("%.4f", capacity),
+			fmt.Sprintf("%.4f", cs.FM.Yield(v)),
+			fmt.Sprintf("%.3f", p.DataCellsW*1e3),
+			fmt.Sprintf("%.3f", (p.DataPeripheryW+p.TagW+p.FaultMapW)*1e3),
+			fmt.Sprintf("%.3f", p.TotalW*1e3),
+			fmt.Sprintf("%.1f", cs.CMPCS.DelayDegradation(v)*100),
+		)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Mark the two design points the policies use.
+	v1, v2, _, err := cs.FM.VDDLevels(cs.Tech.VDDNom, cs.Tech.VDDMin,
+		faultmodel.VDD1CapacityFloor(cs.Org.Assoc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	nominal := cs.CMPCS.StaticPower(1.0, 1).TotalW
+	atV2 := cs.CMPCS.StaticPower(v2, cs.FM.ExpectedCapacity(v2)).TotalW
+	atV1 := cs.CMPCS.StaticPower(v1, cs.FM.ExpectedCapacity(v1)).TotalW
+	fmt.Printf("SPCS point  VDD2 = %.2f V: %.1f %% static power saved vs 1.0 V\n", v2, (1-atV2/nominal)*100)
+	fmt.Printf("DPCS floor  VDD1 = %.2f V: %.1f %% static power saved vs 1.0 V\n", v1, (1-atV1/nominal)*100)
+}

@@ -1,0 +1,20 @@
+package bist_test
+
+import (
+	"fmt"
+
+	"repro/internal/bist"
+	"repro/internal/sram"
+)
+
+// Example runs March SS against a tiny SRAM array with one injected
+// low-voltage fault.
+func Example() {
+	arr := sram.PerfectArray(4, 8, 0.3)
+	arr.InjectFault(2, 5, 0.8, sram.StuckAt0) // fails below 0.8 V
+	arr.SetVDD(0.6)
+	res := bist.Run(bist.MarchSS(), arr)
+	fmt.Printf("%s at %.1f V: %d faulty cell(s) in row(s) %v\n",
+		res.Test, res.VDD, len(res.FaultyCells), res.FaultyRows)
+	// Output: March SS at 0.6 V: 1 faulty cell(s) in row(s) map[2:true]
+}

@@ -1,0 +1,283 @@
+// Package bist implements the built-in self-test flow that populates the
+// power/capacity-scaling fault map. It provides a generic March-test
+// engine and the March SS algorithm (Hamdioui et al., "March SS: A Test
+// for All Static Simple RAM Faults"), which is what the paper ran on its
+// 45 nm SOI Red Cooper test chips to characterise voltage-induced SRAM
+// faults and to observe the fault inclusion property.
+//
+// The flow is: for each allowed VDD level, from highest to lowest, set
+// the array supply, run March SS, and record which rows (cache blocks)
+// contain faulty cells. The per-level results are folded into a
+// faultmap.Map; any observed violation of fault inclusion (faulty at a
+// higher voltage but healthy at a lower one) is reported, since the FM
+// encoding cannot represent it.
+package bist
+
+import (
+	"fmt"
+
+	"repro/internal/faultmap"
+	"repro/internal/sram"
+)
+
+// Op is a single March operation applied to every cell of an element.
+type Op struct {
+	// Write indicates a write operation; otherwise the op is a read.
+	Write bool
+	// Value is the bit written, or the bit a read expects.
+	Value uint8
+}
+
+// Read0 reads a cell expecting 0.
+func Read0() Op { return Op{Write: false, Value: 0} }
+
+// Read1 reads a cell expecting 1.
+func Read1() Op { return Op{Write: false, Value: 1} }
+
+// Write0 writes 0 to a cell.
+func Write0() Op { return Op{Write: true, Value: 0} }
+
+// Write1 writes 1 to a cell.
+func Write1() Op { return Op{Write: true, Value: 1} }
+
+// String renders the op in March notation (r0, r1, w0, w1).
+func (o Op) String() string {
+	k := "r"
+	if o.Write {
+		k = "w"
+	}
+	return fmt.Sprintf("%s%d", k, o.Value)
+}
+
+// Direction is the address order of a March element.
+type Direction int
+
+const (
+	// Up walks addresses in ascending order (⇑).
+	Up Direction = iota
+	// Down walks addresses in descending order (⇓).
+	Down
+	// Any may use either order (⇕); this engine uses ascending.
+	Any
+)
+
+// String renders the direction as an arrow.
+func (d Direction) String() string {
+	switch d {
+	case Up:
+		return "⇑"
+	case Down:
+		return "⇓"
+	default:
+		return "⇕"
+	}
+}
+
+// Element is one March element: a direction and a sequence of operations
+// applied to each cell before moving to the next address.
+type Element struct {
+	Dir Direction
+	Ops []Op
+}
+
+// String renders the element in March notation.
+func (e Element) String() string {
+	s := e.Dir.String() + "("
+	for i, op := range e.Ops {
+		if i > 0 {
+			s += ","
+		}
+		s += op.String()
+	}
+	return s + ")"
+}
+
+// Test is a complete March test.
+type Test struct {
+	Name     string
+	Elements []Element
+}
+
+// OpsPerCell returns the test length in operations per cell (the "22N" in
+// "March SS is a 22N test" counts 22 operations per cell).
+func (t Test) OpsPerCell() int {
+	n := 0
+	for _, e := range t.Elements {
+		n += len(e.Ops)
+	}
+	return n
+}
+
+// String renders the whole test in March notation.
+func (t Test) String() string {
+	s := t.Name + ": {"
+	for i, e := range t.Elements {
+		if i > 0 {
+			s += "; "
+		}
+		s += e.String()
+	}
+	return s + "}"
+}
+
+// MarchSS returns the March SS test:
+//
+//	{⇕(w0); ⇑(r0,r0,w0,r0,w1); ⇑(r1,r1,w1,r1,w0);
+//	 ⇓(r0,r0,w0,r0,w1); ⇓(r1,r1,w1,r1,w0); ⇕(r0)}
+//
+// a 22N test detecting all static simple (single-cell and two-cell
+// coupling) RAM faults.
+func MarchSS() Test {
+	return Test{
+		Name: "March SS",
+		Elements: []Element{
+			{Any, []Op{Write0()}},
+			{Up, []Op{Read0(), Read0(), Write0(), Read0(), Write1()}},
+			{Up, []Op{Read1(), Read1(), Write1(), Read1(), Write0()}},
+			{Down, []Op{Read0(), Read0(), Write0(), Read0(), Write1()}},
+			{Down, []Op{Read1(), Read1(), Write1(), Read1(), Write0()}},
+			{Any, []Op{Read0()}},
+		},
+	}
+}
+
+// MarchC returns the classic March C- test (10N), provided as a cheaper
+// alternative for comparisons; it detects fewer static faults than
+// March SS but all the voltage-induced single-cell modes modelled here.
+func MarchC() Test {
+	return Test{
+		Name: "March C-",
+		Elements: []Element{
+			{Any, []Op{Write0()}},
+			{Up, []Op{Read0(), Write1()}},
+			{Up, []Op{Read1(), Write0()}},
+			{Down, []Op{Read0(), Write1()}},
+			{Down, []Op{Read1(), Write0()}},
+			{Any, []Op{Read0()}},
+		},
+	}
+}
+
+// Result is the outcome of running a March test over an array at one
+// supply voltage.
+type Result struct {
+	// Test names the algorithm that ran.
+	Test string
+	// VDD is the supply voltage the array operated at during the test.
+	VDD float64
+	// FaultyCells marks each cell (row-major index) that produced at
+	// least one read mismatch.
+	FaultyCells map[int]bool
+	// FaultyRows marks each row with at least one faulty cell.
+	FaultyRows map[int]bool
+	// Ops counts the total operations performed.
+	Ops int
+}
+
+// Run executes the March test against the array at its current VDD,
+// comparing every read against its expected value. Mismatching cells are
+// recorded. The array's contents are destroyed (as by any March test).
+func Run(t Test, a *sram.Array) Result {
+	res := Result{
+		Test:        t.Name,
+		VDD:         a.VDD(),
+		FaultyCells: make(map[int]bool),
+		FaultyRows:  make(map[int]bool),
+	}
+	rows, cols := a.Rows(), a.Cols()
+	n := rows * cols
+	forEach := func(dir Direction, f func(addr int)) {
+		if dir == Down {
+			for i := n - 1; i >= 0; i-- {
+				f(i)
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+	}
+	for _, e := range t.Elements {
+		forEach(e.Dir, func(addr int) {
+			r, c := addr/cols, addr%cols
+			for _, op := range e.Ops {
+				res.Ops++
+				if op.Write {
+					a.WriteBit(r, c, op.Value)
+					continue
+				}
+				if got := a.ReadBit(r, c); got != op.Value {
+					res.FaultyCells[addr] = true
+					res.FaultyRows[r] = true
+					// Restore the expected value so later ops in this
+					// element observe the March-defined state; a real
+					// BIST would simply log and continue, and faulty
+					// cells stay faulty either way.
+					a.WriteBit(r, c, op.Value)
+				}
+			}
+		})
+	}
+	return res
+}
+
+// InclusionViolation describes a row that was observed faulty at a higher
+// voltage but healthy at a lower one — behaviour the FM encoding cannot
+// represent and which the paper's silicon measurements did not exhibit.
+type InclusionViolation struct {
+	Row          int
+	FaultyAtVDD  float64
+	HealthyAtVDD float64
+}
+
+// Error implements the error interface.
+func (v InclusionViolation) Error() string {
+	return fmt.Sprintf("bist: row %d faulty at %.2f V but healthy at %.2f V (fault inclusion violated)",
+		v.Row, v.FaultyAtVDD, v.HealthyAtVDD)
+}
+
+// PopulateFaultMap runs the March test at every allowed voltage level,
+// highest to lowest, and builds the per-row fault map. Each array row
+// corresponds to one cache block, matching the paper's layout where each
+// data subarray row holds (part of) a single block and is the power-gate
+// granularity.
+//
+// The returned results are ordered highest level first. If fault
+// inclusion is violated by the observations, the map conservatively
+// treats the row as faulty at the lower level too, and all violations
+// are returned.
+func PopulateFaultMap(t Test, a *sram.Array, levels faultmap.Levels) (*faultmap.Map, []Result, []InclusionViolation) {
+	m := faultmap.NewMap(levels, a.Rows())
+	results := make([]Result, 0, levels.N())
+	var violations []InclusionViolation
+
+	// faultyAtLevel[row] = highest level at which the row tested faulty.
+	faultyAt := make([]int, a.Rows())
+	prevFaulty := make(map[int]bool)
+	for k := levels.N(); k >= 1; k-- {
+		a.SetVDD(levels.Volts(k))
+		res := Run(t, a)
+		results = append(results, res)
+		for r := range prevFaulty {
+			if !res.FaultyRows[r] {
+				violations = append(violations, InclusionViolation{
+					Row:          r,
+					FaultyAtVDD:  levels.Volts(k + 1),
+					HealthyAtVDD: levels.Volts(k),
+				})
+				// Conservative: keep treating the row as faulty here.
+				res.FaultyRows[r] = true
+			}
+		}
+		for r := range res.FaultyRows {
+			if faultyAt[r] < k {
+				faultyAt[r] = k
+			}
+			prevFaulty[r] = true
+		}
+	}
+	for r, k := range faultyAt {
+		m.SetFM(r, k)
+	}
+	return m, results, violations
+}

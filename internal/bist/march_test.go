@@ -1,0 +1,163 @@
+package bist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faultmap"
+	"repro/internal/sram"
+	"repro/internal/stats"
+)
+
+func TestMarchSSLength(t *testing.T) {
+	// March SS is a 22N test.
+	if got := MarchSS().OpsPerCell(); got != 22 {
+		t.Fatalf("March SS ops/cell = %d, want 22", got)
+	}
+}
+
+func TestMarchCLength(t *testing.T) {
+	// March C- is a 10N test.
+	if got := MarchC().OpsPerCell(); got != 10 {
+		t.Fatalf("March C- ops/cell = %d, want 10", got)
+	}
+}
+
+func TestNotation(t *testing.T) {
+	s := MarchSS().String()
+	for _, want := range []string{"March SS", "⇑(r0,r0,w0,r0,w1)", "⇓(r1,r1,w1,r1,w0)", "⇕(w0)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("notation %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCleanArrayPasses(t *testing.T) {
+	a := sram.PerfectArray(16, 32, 0.3)
+	a.SetVDD(0.5)
+	res := Run(MarchSS(), a)
+	if len(res.FaultyCells) != 0 || len(res.FaultyRows) != 0 {
+		t.Fatalf("clean array reported faults: %d cells", len(res.FaultyCells))
+	}
+	if res.Ops != 22*16*32 {
+		t.Errorf("ops = %d", res.Ops)
+	}
+	if res.VDD != 0.5 {
+		t.Errorf("recorded VDD %v", res.VDD)
+	}
+}
+
+func TestDetectsEachFaultKind(t *testing.T) {
+	kinds := []sram.FaultKind{sram.StuckAt0, sram.StuckAt1, sram.WriteFail, sram.ReadFlip}
+	for _, test := range []Test{MarchSS(), MarchC()} {
+		for _, k := range kinds {
+			a := sram.PerfectArray(4, 8, 0.3)
+			a.InjectFault(2, 3, 0.9, k)
+			a.SetVDD(0.5) // below the cell's Vmin: fault active
+			res := Run(test, a)
+			if !res.FaultyCells[2*8+3] {
+				t.Errorf("%s missed %v fault", test.Name, k)
+			}
+			if !res.FaultyRows[2] {
+				t.Errorf("%s missed faulty row for %v", test.Name, k)
+			}
+			// No false positives elsewhere.
+			if len(res.FaultyCells) != 1 {
+				t.Errorf("%s flagged %d cells for one %v fault", test.Name, len(res.FaultyCells), k)
+			}
+		}
+	}
+}
+
+func TestFaultInactiveAboveVmin(t *testing.T) {
+	a := sram.PerfectArray(4, 8, 0.3)
+	a.InjectFault(1, 1, 0.6, sram.StuckAt0)
+	a.SetVDD(0.8) // above Vmin: healthy
+	res := Run(MarchSS(), a)
+	if len(res.FaultyCells) != 0 {
+		t.Fatalf("fault detected above Vmin")
+	}
+}
+
+func TestPopulateFaultMapLevels(t *testing.T) {
+	levels := faultmap.MustLevels(0.54, 0.70, 1.00)
+	a := sram.PerfectArray(8, 16, 0.3)
+	a.InjectFault(0, 0, 0.60, sram.StuckAt1)  // faulty at level 1 only
+	a.InjectFault(3, 5, 0.80, sram.WriteFail) // faulty at levels 1,2
+	a.InjectFault(6, 2, 1.50, sram.StuckAt0)  // faulty at all levels
+	m, results, viol := PopulateFaultMap(MarchSS(), a, levels)
+	if len(viol) != 0 {
+		t.Fatalf("unexpected inclusion violations: %v", viol)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	wants := map[int]int{0: 1, 3: 2, 6: 3}
+	for r := 0; r < 8; r++ {
+		want := wants[r]
+		if got := m.FM(r); got != want {
+			t.Errorf("row %d FM = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestPopulateFaultMapMatchesRowVmin(t *testing.T) {
+	// Property: for a Monte-Carlo array, the BIST-derived FM value of
+	// every row must equal the value derived from the row's true Vmin.
+	levels := faultmap.MustLevels(0.54, 0.70, 1.00)
+	rng := stats.NewRNG(33)
+	a := sram.NewArray(rng, sram.NewWangCalhounBER(), 64, 64, 0.30, 1.00)
+	m, _, viol := PopulateFaultMap(MarchSS(), a, levels)
+	if len(viol) != 0 {
+		t.Fatalf("inclusion violations on single-Vmin physics: %v", viol)
+	}
+	want := faultmap.NewMap(levels, 64)
+	for r := 0; r < 64; r++ {
+		want.SetFromVmin(r, a.RowVmin(r))
+	}
+	for r := 0; r < 64; r++ {
+		if m.FM(r) != want.FM(r) {
+			t.Errorf("row %d: BIST FM %d, Vmin-derived %d (row Vmin %v)",
+				r, m.FM(r), want.FM(r), a.RowVmin(r))
+		}
+	}
+}
+
+func TestPopulateRunsHighestLevelFirst(t *testing.T) {
+	levels := faultmap.MustLevels(0.5, 1.0)
+	a := sram.PerfectArray(4, 4, 0.3)
+	_, results, _ := PopulateFaultMap(MarchSS(), a, levels)
+	if results[0].VDD != 1.0 || results[1].VDD != 0.5 {
+		t.Fatalf("level order: %v then %v", results[0].VDD, results[1].VDD)
+	}
+}
+
+func TestOpConstructors(t *testing.T) {
+	if Read0().String() != "r0" || Read1().String() != "r1" ||
+		Write0().String() != "w0" || Write1().String() != "w1" {
+		t.Error("op notation wrong")
+	}
+	if Up.String() != "⇑" || Down.String() != "⇓" || Any.String() != "⇕" {
+		t.Error("direction notation wrong")
+	}
+}
+
+func TestInclusionViolationError(t *testing.T) {
+	v := InclusionViolation{Row: 3, FaultyAtVDD: 0.7, HealthyAtVDD: 0.54}
+	if !strings.Contains(v.Error(), "row 3") {
+		t.Errorf("error text: %s", v.Error())
+	}
+}
+
+func TestMarchDetectsDenseFaults(t *testing.T) {
+	// At a very low voltage many cells are faulty; the test must flag a
+	// fraction consistent with the array's own accounting.
+	rng := stats.NewRNG(44)
+	a := sram.NewArray(rng, sram.NewWangCalhounBER(), 32, 128, 0.30, 1.00)
+	a.SetVDD(0.35)
+	res := Run(MarchSS(), a)
+	trueCount := a.FaultyCellCount(0.35)
+	if len(res.FaultyCells) < trueCount*9/10 {
+		t.Errorf("March SS found %d of %d faulty cells", len(res.FaultyCells), trueCount)
+	}
+}

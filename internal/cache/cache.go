@@ -1,0 +1,373 @@
+// Package cache implements a functional set-associative write-back,
+// write-allocate cache with true LRU replacement and the per-block
+// metadata the power/capacity-scaling mechanism needs: Valid, Dirty and
+// Faulty bits. Faulty blocks never hit and are never chosen for fill
+// (the paper's correctness requirements); if every way of a set is
+// faulty the access bypasses the cache (the design-time voltage
+// selection makes this astronomically rare, but the model stays safe).
+//
+// The cache is purely functional/structural: latencies and energies are
+// accounted by the callers (internal/cpusim and internal/core), which
+// also drive voltage transitions by manipulating the Faulty bits through
+// the metadata accessors.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// line is the metadata of one cache block frame.
+type line struct {
+	tag    uint64
+	lru    uint64 // larger = more recently used
+	valid  bool
+	dirty  bool
+	faulty bool
+}
+
+// Stats accumulates access statistics.
+type Stats struct {
+	Accesses   uint64 // total demand accesses
+	Hits       uint64
+	Misses     uint64
+	Reads      uint64
+	Writes     uint64
+	Writebacks uint64 // dirty evictions pushed to the next level
+	Fills      uint64 // blocks allocated
+	Bypasses   uint64 // accesses that found no usable frame
+	Invals     uint64 // blocks invalidated (transitions etc.)
+}
+
+// MissRate returns misses per access, or 0 with no accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Sub returns the difference s - t, field-wise; used for interval stats.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Accesses:   s.Accesses - t.Accesses,
+		Hits:       s.Hits - t.Hits,
+		Misses:     s.Misses - t.Misses,
+		Reads:      s.Reads - t.Reads,
+		Writes:     s.Writes - t.Writes,
+		Writebacks: s.Writebacks - t.Writebacks,
+		Fills:      s.Fills - t.Fills,
+		Bypasses:   s.Bypasses - t.Bypasses,
+		Invals:     s.Invals - t.Invals,
+	}
+}
+
+// Cache is one level of set-associative cache.
+type Cache struct {
+	name       string
+	sets       int
+	ways       int
+	blockBytes int
+	setShift   uint // log2(blockBytes)
+	setMask    uint64
+	lines      []line // sets*ways, row-major by set
+	lruClock   uint64
+	stats      Stats
+}
+
+// Config describes a cache's geometry.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Assoc      int
+	BlockBytes int
+}
+
+// New builds a cache. Sizes must be powers of two.
+func New(cfg Config) (*Cache, error) {
+	if cfg.SizeBytes <= 0 || cfg.Assoc <= 0 || cfg.BlockBytes <= 0 {
+		return nil, fmt.Errorf("cache: %s: non-positive geometry", cfg.Name)
+	}
+	if cfg.SizeBytes%(cfg.Assoc*cfg.BlockBytes) != 0 {
+		return nil, fmt.Errorf("cache: %s: size %d not divisible by assoc*block", cfg.Name, cfg.SizeBytes)
+	}
+	sets := cfg.SizeBytes / (cfg.Assoc * cfg.BlockBytes)
+	for _, v := range []int{cfg.BlockBytes, sets} {
+		if v&(v-1) != 0 {
+			return nil, fmt.Errorf("cache: %s: %d is not a power of two", cfg.Name, v)
+		}
+	}
+	return &Cache{
+		name:       cfg.Name,
+		sets:       sets,
+		ways:       cfg.Assoc,
+		blockBytes: cfg.BlockBytes,
+		setShift:   uint(bits.Len(uint(cfg.BlockBytes)) - 1),
+		setMask:    uint64(sets - 1),
+		lines:      make([]line, sets*cfg.Assoc),
+	}, nil
+}
+
+// MustNew is New that panics on error, for tests and fixed configs.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the cache's label.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// BlockBytes returns the block size.
+func (c *Cache) BlockBytes() int { return c.blockBytes }
+
+// NumBlocks returns sets*ways.
+func (c *Cache) NumBlocks() int { return c.sets * c.ways }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics (contents are untouched).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// indexOf splits an address into set index and tag.
+func (c *Cache) indexOf(addr uint64) (set int, tag uint64) {
+	blk := addr >> c.setShift
+	return int(blk & c.setMask), blk >> bits.Len64(c.setMask)
+}
+
+// BlockIndex returns the flat block index of (set, way), the key used by
+// the fault map.
+func (c *Cache) BlockIndex(set, way int) int { return set*c.ways + way }
+
+// frame returns the line at (set, way).
+func (c *Cache) frame(set, way int) *line {
+	if set < 0 || set >= c.sets || way < 0 || way >= c.ways {
+		panic(fmt.Sprintf("cache: %s: frame (%d,%d) out of %dx%d", c.name, set, way, c.sets, c.ways))
+	}
+	return &c.lines[set*c.ways+way]
+}
+
+// AccessResult describes the outcome of one access.
+type AccessResult struct {
+	// Hit is true when the block was present (and non-faulty).
+	Hit bool
+	// Bypass is true when the access missed and no usable frame existed
+	// (all ways faulty); the block was not allocated.
+	Bypass bool
+	// Writeback is true when a dirty victim was evicted; WritebackAddr
+	// is its block-aligned address, to be written to the next level.
+	Writeback     bool
+	WritebackAddr uint64
+	// Fill is true when the block was allocated (every non-bypass miss).
+	Fill bool
+}
+
+// Access performs one demand access (write=true for stores). On a miss
+// the block is allocated (write-allocate) into the LRU non-faulty way,
+// evicting and possibly writing back the victim.
+func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	c.stats.Accesses++
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	set, tag := c.indexOf(addr)
+	c.lruClock++
+
+	// Hit check: faulty blocks can never hit (they are never valid; the
+	// check is kept explicit as a safety invariant).
+	for w := 0; w < c.ways; w++ {
+		ln := c.frame(set, w)
+		if ln.valid && !ln.faulty && ln.tag == tag {
+			c.stats.Hits++
+			ln.lru = c.lruClock
+			if write {
+				ln.dirty = true
+			}
+			return AccessResult{Hit: true}
+		}
+	}
+	c.stats.Misses++
+
+	// Victim selection: LRU among non-faulty ways, preferring invalid.
+	victim := -1
+	var oldest uint64
+	for w := 0; w < c.ways; w++ {
+		ln := c.frame(set, w)
+		if ln.faulty {
+			continue
+		}
+		if !ln.valid {
+			victim = w
+			break
+		}
+		if victim == -1 || ln.lru < oldest {
+			victim = w
+			oldest = ln.lru
+		}
+	}
+	if victim == -1 {
+		c.stats.Bypasses++
+		return AccessResult{Bypass: true}
+	}
+
+	res := AccessResult{Fill: true}
+	ln := c.frame(set, victim)
+	if ln.valid && ln.dirty {
+		res.Writeback = true
+		res.WritebackAddr = c.addrOf(set, ln.tag)
+		c.stats.Writebacks++
+	}
+	ln.tag = tag
+	ln.valid = true
+	ln.dirty = write
+	ln.lru = c.lruClock
+	c.stats.Fills++
+	return res
+}
+
+// addrOf reconstructs the block-aligned address of (set, tag).
+func (c *Cache) addrOf(set int, tag uint64) uint64 {
+	return (tag<<bits.Len64(c.setMask) | uint64(set)) << c.setShift
+}
+
+// FindFrame locates the valid, non-faulty frame holding addr, if any,
+// without touching LRU state or statistics. Coherence controllers use it
+// to invalidate remote copies.
+func (c *Cache) FindFrame(addr uint64) (set, way int, ok bool) {
+	s, tag := c.indexOf(addr)
+	for w := 0; w < c.ways; w++ {
+		ln := c.frame(s, w)
+		if ln.valid && !ln.faulty && ln.tag == tag {
+			return s, w, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Probe reports whether addr is present (valid, non-faulty) without
+// touching LRU state or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.indexOf(addr)
+	for w := 0; w < c.ways; w++ {
+		ln := c.frame(set, w)
+		if ln.valid && !ln.faulty && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockMeta is a read-only snapshot of one frame's metadata.
+type BlockMeta struct {
+	Valid  bool
+	Dirty  bool
+	Faulty bool
+	Addr   uint64 // block-aligned address, meaningful when Valid
+}
+
+// Meta returns the metadata snapshot of frame (set, way).
+func (c *Cache) Meta(set, way int) BlockMeta {
+	ln := c.frame(set, way)
+	return BlockMeta{
+		Valid:  ln.valid,
+		Dirty:  ln.dirty,
+		Faulty: ln.faulty,
+		Addr:   c.addrOf(set, ln.tag),
+	}
+}
+
+// InvalidateFrame clears Valid and Dirty of frame (set, way), returning
+// whether a writeback is needed (it was valid and dirty). The caller is
+// responsible for pushing the writeback to the next level first.
+func (c *Cache) InvalidateFrame(set, way int) (needWriteback bool, addr uint64) {
+	ln := c.frame(set, way)
+	needWriteback = ln.valid && ln.dirty
+	addr = c.addrOf(set, ln.tag)
+	if ln.valid {
+		c.stats.Invals++
+	}
+	ln.valid = false
+	ln.dirty = false
+	return needWriteback, addr
+}
+
+// SetFaulty sets or clears the Faulty bit of frame (set, way). Setting
+// Faulty on a valid frame clears Valid (the paper: "any block that has
+// Faulty set has Valid cleared"); the caller must have handled any
+// needed writeback via InvalidateFrame first.
+func (c *Cache) SetFaulty(set, way int, faulty bool) {
+	ln := c.frame(set, way)
+	ln.faulty = faulty
+	if faulty {
+		ln.valid = false
+		ln.dirty = false
+	}
+}
+
+// FaultyCount returns the number of frames currently marked faulty.
+func (c *Cache) FaultyCount() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].faulty {
+			n++
+		}
+	}
+	return n
+}
+
+// ValidCount returns the number of valid frames.
+func (c *Cache) ValidCount() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// FlushAll writes back and invalidates every valid frame, invoking sink
+// for each dirty block. Used at end-of-simulation accounting.
+func (c *Cache) FlushAll(sink func(addr uint64)) {
+	for s := 0; s < c.sets; s++ {
+		for w := 0; w < c.ways; w++ {
+			if need, addr := c.InvalidateFrame(s, w); need && sink != nil {
+				sink(addr)
+			}
+		}
+	}
+}
+
+// CheckInvariants validates internal consistency: faulty frames must be
+// invalid, and no set may hold two valid frames with the same tag.
+// It returns the first violation found, or nil.
+func (c *Cache) CheckInvariants() error {
+	for s := 0; s < c.sets; s++ {
+		seen := make(map[uint64]int, c.ways)
+		for w := 0; w < c.ways; w++ {
+			ln := c.frame(s, w)
+			if ln.faulty && ln.valid {
+				return fmt.Errorf("cache: %s: set %d way %d is faulty yet valid", c.name, s, w)
+			}
+			if ln.valid {
+				if prev, dup := seen[ln.tag]; dup {
+					return fmt.Errorf("cache: %s: set %d ways %d and %d share tag %#x",
+						c.name, s, prev, w, ln.tag)
+				}
+				seen[ln.tag] = w
+			}
+		}
+	}
+	return nil
+}

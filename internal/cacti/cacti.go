@@ -1,0 +1,314 @@
+// Package cacti is an analytical cache area / static-power / dynamic-
+// energy / delay model in the spirit of CACTI 6.5, which the paper
+// modified to evaluate its architectures. It is deliberately compact: it
+// models exactly the quantities the paper's figures need —
+//
+//   - static (leakage) power of the data-array cells as a function of the
+//     data VDD and of the fraction of blocks that are power-gated,
+//   - static power of the data periphery, tag array and fault map, which
+//     sit on the always-nominal voltage domain,
+//   - dynamic access energy split into a data-array part (scales ~V^2
+//     with the data VDD, since the scheme never boosts for accesses) and
+//     a fixed part (tag + periphery at nominal),
+//   - access delay versus data VDD (alpha-power law on the cell-read
+//     portion, ≈ +15 % at the lowest studied voltages), and
+//   - area, including the fault-map and power-gate overheads.
+//
+// Magnitudes are 45 nm-class (see DESIGN.md §5); shapes are what matter.
+package cacti
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/device"
+)
+
+// Org describes a cache organisation.
+type Org struct {
+	// Name labels the cache in reports (e.g. "L1D-A").
+	Name string
+	// SizeBytes is the data capacity in bytes.
+	SizeBytes int
+	// Assoc is the associativity (ways per set).
+	Assoc int
+	// BlockBytes is the cache block (line) size in bytes.
+	BlockBytes int
+	// AddrBits is the physical address width used for tag sizing.
+	AddrBits int
+	// SerialTagData selects tag-then-data sequential access (typical for
+	// large L2s, reading only the matching way) instead of parallel
+	// read-all-ways (typical for small L1s).
+	SerialTagData bool
+}
+
+// Sets returns the number of sets.
+func (o Org) Sets() int { return o.SizeBytes / (o.BlockBytes * o.Assoc) }
+
+// Blocks returns the total number of blocks.
+func (o Org) Blocks() int { return o.SizeBytes / o.BlockBytes }
+
+// BlockBits returns the data bits per block.
+func (o Org) BlockBits() int { return o.BlockBytes * 8 }
+
+// TagBitsPerBlock returns the tag-store bits per block excluding any
+// fault-tolerance metadata: tag + valid + dirty + LRU state.
+func (o Org) TagBitsPerBlock() int {
+	setBits := bits.Len(uint(o.Sets())) - 1
+	offBits := bits.Len(uint(o.BlockBytes)) - 1
+	tag := o.AddrBits - setBits - offBits
+	lru := bits.Len(uint(o.Assoc)) - 1
+	return tag + 2 + lru
+}
+
+// Validate checks that the organisation is well-formed (power-of-two
+// sizes, non-trivial geometry).
+func (o Org) Validate() error {
+	if o.SizeBytes <= 0 || o.Assoc <= 0 || o.BlockBytes <= 0 {
+		return fmt.Errorf("cacti: %s: non-positive geometry", o.Name)
+	}
+	if o.SizeBytes%(o.BlockBytes*o.Assoc) != 0 {
+		return fmt.Errorf("cacti: %s: size %d not divisible by assoc*block", o.Name, o.SizeBytes)
+	}
+	for _, v := range []int{o.SizeBytes, o.Assoc, o.BlockBytes, o.Sets()} {
+		if v&(v-1) != 0 {
+			return fmt.Errorf("cacti: %s: %d is not a power of two", o.Name, v)
+		}
+	}
+	if o.AddrBits < 32 || o.AddrBits > 64 {
+		return fmt.Errorf("cacti: %s: address width %d out of [32,64]", o.Name, o.AddrBits)
+	}
+	return nil
+}
+
+// Params are the technology-level calibration constants of the model.
+// The defaults (DefaultParams) are 45 nm-class and were calibrated so the
+// reproduced figures land in the paper's ranges; every constant is
+// documented so it can be re-fit to another node.
+type Params struct {
+	// CellAreaUM2 is the 6T SRAM cell area in µm² (≈0.374 at 45 nm).
+	CellAreaUM2 float64
+	// ArrayEfficiency is the fraction of array area that is cells (the
+	// rest is decoders, sense amps, drivers).
+	ArrayEfficiency float64
+	// CellLeakEquiv is the leakage of one 6T cell in min-width RVT
+	// device equivalents.
+	CellLeakEquiv float64
+	// PeripheryEquivPerCell is the leakage of the (LVT, always-nominal)
+	// data-array periphery, expressed in min-width LVT equivalents per
+	// data cell.
+	PeripheryEquivPerCell float64
+	// MetadataAreaFactor inflates per-bit area of small metadata fields
+	// (fault map, extra tag bits) to account for their poor array
+	// efficiency; the paper's "up to 4 %" fault-map area comes from this.
+	MetadataAreaFactor float64
+	// PowerGateAreaFrac is the area overhead of per-block gated-PMOS
+	// power gates plus the level-shifting inverter (< 1 % in the paper).
+	PowerGateAreaFrac float64
+	// EBitReadPJ is the data-array read energy per bit read, in pJ, at
+	// nominal VDD (bitline + mux + burst-out).
+	EBitReadPJ float64
+	// EBitWritePJ is the data-array write energy per bit, in pJ, at
+	// nominal VDD.
+	EBitWritePJ float64
+	// EAccessFixedPJ is the per-access fixed energy (decode, tag read &
+	// compare, periphery clocks) at nominal VDD, in pJ, per KB of cache
+	// raised to SizeExponent — larger caches burn more per access.
+	EAccessFixedPJ float64
+	// SizeExponent shapes how fixed access energy grows with capacity.
+	SizeExponent float64
+	// DelayBaseNS and DelayPerLog2NS give the nominal access time:
+	// t = DelayBaseNS + DelayPerLog2NS * log2(size/4KB).
+	DelayBaseNS    float64
+	DelayPerLog2NS float64
+	// CellDelayFrac is the fraction of access time attributable to the
+	// voltage-scaled cell read; calibrated so the min-VDD worst case is
+	// ≈ +15 % as reported by the paper's CACTI runs.
+	CellDelayFrac float64
+}
+
+// DefaultParams returns the calibrated 45 nm parameter set.
+func DefaultParams() Params {
+	return Params{
+		CellAreaUM2:           0.374,
+		ArrayEfficiency:       0.70,
+		CellLeakEquiv:         1.0,
+		PeripheryEquivPerCell: 0.027,
+		MetadataAreaFactor:    4.0,
+		PowerGateAreaFrac:     0.008,
+		EBitReadPJ:            0.010,
+		EBitWritePJ:           0.012,
+		EAccessFixedPJ:        0.45,
+		SizeExponent:          0.45,
+		DelayBaseNS:           0.35,
+		DelayPerLog2NS:        0.16,
+		CellDelayFrac:         0.07,
+	}
+}
+
+// Model evaluates one cache organisation in one technology.
+type Model struct {
+	Org    Org
+	Tech   device.Tech
+	Params Params
+	// PCS indicates the power/capacity-scaling mechanism is present:
+	// fault-map bits and power gates are added to area and power.
+	PCS bool
+	// FMBitsPerBlock is the fault-map width (FM bits + Faulty bit) when
+	// PCS is true.
+	FMBitsPerBlock int
+}
+
+// New builds a Model after validating the organisation.
+func New(org Org, tech device.Tech, params Params) (*Model, error) {
+	if err := org.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{Org: org, Tech: tech, Params: params}, nil
+}
+
+// WithPCS returns a copy of the model with the PCS mechanism overheads
+// enabled, carrying fmBits fault-map bits plus one Faulty bit per block.
+func (m *Model) WithPCS(fmBits int) *Model {
+	c := *m
+	c.PCS = true
+	c.FMBitsPerBlock = fmBits + 1
+	return &c
+}
+
+// --- Area ---
+
+// AreaReport decomposes the cache area in mm².
+type AreaReport struct {
+	DataMM2      float64 // data cells + their periphery share
+	TagMM2       float64 // tag cells + periphery share
+	FaultMapMM2  float64 // FM + Faulty bits (PCS only)
+	PowerGateMM2 float64 // power gates + level shifters (PCS only)
+	TotalMM2     float64
+}
+
+// OverheadFraction returns the PCS area overhead relative to a baseline
+// without fault map or power gates.
+func (a AreaReport) OverheadFraction() float64 {
+	base := a.DataMM2 + a.TagMM2
+	if base == 0 {
+		return 0
+	}
+	return (a.FaultMapMM2 + a.PowerGateMM2) / base
+}
+
+// Area returns the area decomposition.
+func (m *Model) Area() AreaReport {
+	p := m.Params
+	cellMM2 := p.CellAreaUM2 * 1e-6
+	dataCells := float64(m.Org.Blocks() * m.Org.BlockBits())
+	tagCells := float64(m.Org.Blocks() * m.Org.TagBitsPerBlock())
+	var r AreaReport
+	r.DataMM2 = dataCells * cellMM2 / p.ArrayEfficiency
+	r.TagMM2 = tagCells * cellMM2 / p.ArrayEfficiency * 1.1 // CAM-ish compare logic
+	if m.PCS {
+		fmCells := float64(m.Org.Blocks() * m.FMBitsPerBlock)
+		r.FaultMapMM2 = fmCells * cellMM2 * p.MetadataAreaFactor
+		r.PowerGateMM2 = r.DataMM2 * p.PowerGateAreaFrac
+	}
+	r.TotalMM2 = r.DataMM2 + r.TagMM2 + r.FaultMapMM2 + r.PowerGateMM2
+	return r
+}
+
+// --- Static power ---
+
+// PowerReport decomposes static power in watts.
+type PowerReport struct {
+	DataCellsW     float64 // voltage-scaled data cells (minus gated blocks)
+	DataPeripheryW float64 // data-array periphery at nominal VDD
+	TagW           float64 // tag cells + tag periphery at nominal VDD
+	FaultMapW      float64 // fault-map bits at nominal VDD (PCS only)
+	TotalW         float64
+}
+
+// StaticPower returns the leakage decomposition with the data array at
+// dataVDD and activeFraction of the blocks powered (the rest power-gated
+// to ~zero leakage, the paper's assumption for gated blocks).
+func (m *Model) StaticPower(dataVDD, activeFraction float64) PowerReport {
+	if activeFraction < 0 || activeFraction > 1 {
+		panic(fmt.Sprintf("cacti: active fraction %v out of [0,1]", activeFraction))
+	}
+	p := m.Params
+	t := m.Tech
+	nom := t.VDDNom
+	dataCells := float64(m.Org.Blocks() * m.Org.BlockBits())
+	tagCells := float64(m.Org.Blocks() * m.Org.TagBitsPerBlock())
+
+	var r PowerReport
+	r.DataCellsW = dataCells * activeFraction * p.CellLeakEquiv * t.LeakagePower(device.RVT, dataVDD)
+	r.DataPeripheryW = dataCells * p.PeripheryEquivPerCell * t.LeakagePower(device.LVT, nom)
+	tagCellW := tagCells * p.CellLeakEquiv * t.LeakagePower(device.RVT, nom)
+	tagPeriphW := tagCells * p.PeripheryEquivPerCell * t.LeakagePower(device.LVT, nom)
+	r.TagW = tagCellW + tagPeriphW
+	if m.PCS {
+		fmCells := float64(m.Org.Blocks() * m.FMBitsPerBlock)
+		r.FaultMapW = fmCells * p.CellLeakEquiv * t.LeakagePower(device.RVT, nom)
+	}
+	r.TotalW = r.DataCellsW + r.DataPeripheryW + r.TagW + r.FaultMapW
+	return r
+}
+
+// --- Dynamic energy ---
+
+// EnergyReport decomposes the energy of one access in picojoules.
+type EnergyReport struct {
+	DataPJ  float64 // data-array portion, scales with (dataVDD/nom)^2
+	FixedPJ float64 // tag + periphery portion at nominal VDD
+	TotalPJ float64
+}
+
+// AccessEnergy returns the energy of one access at the given data VDD.
+// For parallel tag/data organisations all ways' data are read; for
+// serial ones only the matching way's block is read. Writes use the
+// write energy per bit for the stored block.
+func (m *Model) AccessEnergy(dataVDD float64, write bool) EnergyReport {
+	p := m.Params
+	bitsTouched := float64(m.Org.BlockBits())
+	if !m.Org.SerialTagData && !write {
+		bitsTouched *= float64(m.Org.Assoc)
+	}
+	perBit := p.EBitReadPJ
+	if write {
+		perBit = p.EBitWritePJ
+	}
+	var r EnergyReport
+	r.DataPJ = bitsTouched * perBit * m.Tech.DynamicEnergyFactor(dataVDD)
+	sizeKB := float64(m.Org.SizeBytes) / 1024
+	r.FixedPJ = p.EAccessFixedPJ * math.Pow(sizeKB, p.SizeExponent)
+	r.TotalPJ = r.DataPJ + r.FixedPJ
+	return r
+}
+
+// --- Delay ---
+
+// AccessDelayNS returns the access time in nanoseconds at the given data
+// VDD: the periphery portion is voltage-independent (nominal domain), the
+// cell-read portion follows the alpha-power law of the RVT cells.
+func (m *Model) AccessDelayNS(dataVDD float64) float64 {
+	p := m.Params
+	sizeKB := float64(m.Org.SizeBytes) / 1024
+	base := p.DelayBaseNS + p.DelayPerLog2NS*math.Log2(sizeKB/4)
+	if m.Org.SerialTagData {
+		base *= 1.35 // sequential tag-then-data
+	}
+	f := m.Tech.DelayFactor(device.RVT, dataVDD)
+	if math.IsInf(f, 1) {
+		return math.Inf(1)
+	}
+	return base * ((1 - p.CellDelayFrac) + p.CellDelayFrac*f)
+}
+
+// DelayDegradation returns the fractional slowdown at dataVDD relative to
+// nominal (e.g. 0.15 for +15 %).
+func (m *Model) DelayDegradation(dataVDD float64) float64 {
+	return m.AccessDelayNS(dataVDD)/m.AccessDelayNS(m.Tech.VDDNom) - 1
+}

@@ -1,0 +1,253 @@
+package cacti
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func l1A() Org {
+	return Org{Name: "L1-A", SizeBytes: 64 << 10, Assoc: 4, BlockBytes: 64, AddrBits: 40}
+}
+
+func l2A() Org {
+	return Org{Name: "L2-A", SizeBytes: 2 << 20, Assoc: 8, BlockBytes: 64, AddrBits: 40, SerialTagData: true}
+}
+
+func mustModel(t *testing.T, org Org) *Model {
+	t.Helper()
+	m, err := New(org, device.Tech45SOI(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestOrgDerived(t *testing.T) {
+	o := l1A()
+	if o.Sets() != 256 || o.Blocks() != 1024 || o.BlockBits() != 512 {
+		t.Fatalf("derived geometry: sets=%d blocks=%d bits=%d", o.Sets(), o.Blocks(), o.BlockBits())
+	}
+}
+
+func TestTagBitsPerBlock(t *testing.T) {
+	// 40-bit addresses, 256 sets (8 bits), 64 B blocks (6 bits):
+	// tag = 26, plus valid+dirty+2 LRU bits = 30.
+	if got := l1A().TagBitsPerBlock(); got != 30 {
+		t.Fatalf("L1-A tag bits = %d, want 30", got)
+	}
+}
+
+func TestOrgValidation(t *testing.T) {
+	bads := []Org{
+		{Name: "zero", SizeBytes: 0, Assoc: 4, BlockBytes: 64, AddrBits: 40},
+		{Name: "npo2", SizeBytes: 96 << 10, Assoc: 3, BlockBytes: 64, AddrBits: 40},
+		{Name: "blk", SizeBytes: 64 << 10, Assoc: 4, BlockBytes: 48, AddrBits: 40},
+		{Name: "addr", SizeBytes: 64 << 10, Assoc: 4, BlockBytes: 64, AddrBits: 16},
+		{Name: "indiv", SizeBytes: 64<<10 + 64, Assoc: 4, BlockBytes: 64, AddrBits: 40},
+	}
+	for _, o := range bads {
+		if err := o.Validate(); err == nil {
+			t.Errorf("org %s validated", o.Name)
+		}
+	}
+	if err := l1A().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticPowerDecomposition(t *testing.T) {
+	m := mustModel(t, l1A())
+	p := m.StaticPower(1.0, 1)
+	if p.TotalW <= 0 {
+		t.Fatal("non-positive total power")
+	}
+	sum := p.DataCellsW + p.DataPeripheryW + p.TagW + p.FaultMapW
+	if math.Abs(sum-p.TotalW)/p.TotalW > 1e-12 {
+		t.Fatalf("components %v != total %v", sum, p.TotalW)
+	}
+	if p.FaultMapW != 0 {
+		t.Error("baseline model has fault-map power")
+	}
+	// Data cells dominate a cache's leakage.
+	if p.DataCellsW < 0.5*p.TotalW {
+		t.Errorf("data cells only %v of %v", p.DataCellsW, p.TotalW)
+	}
+}
+
+func TestStaticPowerScalesWithVDD(t *testing.T) {
+	m := mustModel(t, l1A())
+	hi := m.StaticPower(1.0, 1)
+	lo := m.StaticPower(0.7, 1)
+	if lo.DataCellsW >= hi.DataCellsW {
+		t.Error("data-cell leakage did not drop with VDD")
+	}
+	// Periphery and tag stay at nominal VDD: unchanged.
+	if lo.DataPeripheryW != hi.DataPeripheryW || lo.TagW != hi.TagW {
+		t.Error("nominal-domain power changed with data VDD")
+	}
+}
+
+func TestPowerGatingScalesActiveFraction(t *testing.T) {
+	m := mustModel(t, l1A())
+	full := m.StaticPower(0.7, 1).DataCellsW
+	half := m.StaticPower(0.7, 0.5).DataCellsW
+	if math.Abs(half-full/2)/full > 1e-12 {
+		t.Errorf("gated power %v, want %v", half, full/2)
+	}
+	if got := m.StaticPower(0.7, 0).DataCellsW; got != 0 {
+		t.Errorf("fully gated cells leak %v", got)
+	}
+}
+
+func TestStaticPowerMonotoneInVDD(t *testing.T) {
+	m := mustModel(t, l1A())
+	if err := quick.Check(func(a, b uint8) bool {
+		v1 := 0.3 + float64(a%71)/100
+		v2 := 0.3 + float64(b%71)/100
+		if v1 > v2 {
+			v1, v2 = v2, v1
+		}
+		return m.StaticPower(v1, 1).TotalW <= m.StaticPower(v2, 1).TotalW+1e-15
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithPCSAddsOverheads(t *testing.T) {
+	m := mustModel(t, l1A())
+	pcs := m.WithPCS(2)
+	if !pcs.PCS || pcs.FMBitsPerBlock != 3 {
+		t.Fatalf("WithPCS fields: %v %d", pcs.PCS, pcs.FMBitsPerBlock)
+	}
+	if m.PCS {
+		t.Error("WithPCS mutated the receiver")
+	}
+	if pcs.StaticPower(1, 1).FaultMapW <= 0 {
+		t.Error("PCS model has no fault-map power")
+	}
+	if pcs.Area().TotalMM2 <= m.Area().TotalMM2 {
+		t.Error("PCS area not larger than baseline")
+	}
+}
+
+func TestAreaOverheadInPaperRange(t *testing.T) {
+	// The paper: 2-5 % total overhead, fault map <= 4 %, gates < 1 %.
+	for _, org := range []Org{l1A(), l2A()} {
+		m := mustModel(t, org).WithPCS(2)
+		a := m.Area()
+		ov := a.OverheadFraction()
+		if ov < 0.01 || ov > 0.05 {
+			t.Errorf("%s total overhead %v outside 1-5%%", org.Name, ov)
+		}
+		if a.FaultMapMM2/(a.DataMM2+a.TagMM2) > 0.04 {
+			t.Errorf("%s fault map overhead too big", org.Name)
+		}
+		if a.PowerGateMM2/(a.DataMM2+a.TagMM2) >= 0.01 {
+			t.Errorf("%s power gates >= 1%%", org.Name)
+		}
+	}
+}
+
+func TestAreaScalesWithSize(t *testing.T) {
+	small := mustModel(t, l1A()).Area().TotalMM2
+	big := mustModel(t, l2A()).Area().TotalMM2
+	// 32x the capacity must be roughly 32x the area (tags differ slightly).
+	if big/small < 25 || big/small > 40 {
+		t.Errorf("area ratio %v for 32x capacity", big/small)
+	}
+}
+
+func TestAccessEnergyComponents(t *testing.T) {
+	m := mustModel(t, l1A())
+	e := m.AccessEnergy(1.0, false)
+	if e.TotalPJ != e.DataPJ+e.FixedPJ || e.TotalPJ <= 0 {
+		t.Fatalf("energy decomposition: %+v", e)
+	}
+	// Data portion scales as V^2; fixed portion does not change.
+	h := m.AccessEnergy(0.5, false)
+	if math.Abs(h.DataPJ-e.DataPJ/4)/e.DataPJ > 1e-12 {
+		t.Errorf("data energy at half VDD %v, want %v", h.DataPJ, e.DataPJ/4)
+	}
+	if h.FixedPJ != e.FixedPJ {
+		t.Error("fixed energy changed with data VDD")
+	}
+}
+
+func TestSerialReadsOneWay(t *testing.T) {
+	// Serial tag-data orgs read one block; parallel orgs read all ways.
+	par := mustModel(t, l1A())
+	ser := mustModel(t, Org{Name: "ser", SizeBytes: 64 << 10, Assoc: 4,
+		BlockBytes: 64, AddrBits: 40, SerialTagData: true})
+	ePar := par.AccessEnergy(1, false).DataPJ
+	eSer := ser.AccessEnergy(1, false).DataPJ
+	if math.Abs(ePar-4*eSer)/ePar > 1e-12 {
+		t.Errorf("parallel %v vs serial %v: want 4x", ePar, eSer)
+	}
+}
+
+func TestWritesTouchOneBlock(t *testing.T) {
+	m := mustModel(t, l1A())
+	w := m.AccessEnergy(1, true).DataPJ
+	r := m.AccessEnergy(1, false).DataPJ
+	if w >= r { // write = 512 bits * writePJ < read = 2048 bits * readPJ
+		t.Errorf("write energy %v >= read %v", w, r)
+	}
+}
+
+func TestAccessDelayCalibration(t *testing.T) {
+	m := mustModel(t, l1A())
+	nom := m.AccessDelayNS(1.0)
+	if nom <= 0 {
+		t.Fatal("non-positive delay")
+	}
+	// The paper: reducing data VDD impacts access time by roughly 15 % in
+	// the worst case within the voltage range of interest (>= ~0.54 V).
+	deg := m.DelayDegradation(0.54)
+	if deg < 0.05 || deg > 0.20 {
+		t.Errorf("delay degradation at 0.54 V = %v, want ~0.15", deg)
+	}
+	if m.DelayDegradation(1.0) != 0 {
+		t.Error("nominal degradation nonzero")
+	}
+}
+
+func TestDelayGrowsWithSize(t *testing.T) {
+	if mustModel(t, l2A()).AccessDelayNS(1) <= mustModel(t, l1A()).AccessDelayNS(1) {
+		t.Error("larger cache not slower")
+	}
+}
+
+func TestDelayInfiniteBelowVth(t *testing.T) {
+	m := mustModel(t, l1A())
+	if !math.IsInf(m.AccessDelayNS(0.2), 1) {
+		t.Error("delay below Vth should be +Inf")
+	}
+}
+
+func TestStaticPowerPanicsOnBadFraction(t *testing.T) {
+	m := mustModel(t, l1A())
+	for _, f := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("fraction %v accepted", f)
+				}
+			}()
+			m.StaticPower(1, f)
+		}()
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(Org{Name: "bad"}, device.Tech45SOI(), DefaultParams()); err == nil {
+		t.Error("bad org accepted")
+	}
+	badTech := device.Tech45SOI()
+	badTech.VDDNom = 0
+	if _, err := New(l1A(), badTech, DefaultParams()); err == nil {
+		t.Error("bad tech accepted")
+	}
+}

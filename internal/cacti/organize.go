@@ -1,0 +1,193 @@
+package cacti
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the organisation-exploration half of a CACTI-style
+// model: partitioning the data array into subarrays (Ndwl x Ndbl, in
+// CACTI's terminology: the number of wordline and bitline divisions),
+// computing RC delays and switched capacitance per candidate, and picking
+// the partition that minimises the energy-delay product — the same
+// optimisation the paper ran ("CACTI generated optimized cache
+// architectures at the nominal voltage of 1 V using an energy-delay
+// metric"). The simple closed forms in Model.AccessDelayNS/AccessEnergy
+// are calibrated against this explorer (see TestClosedFormsTrackExplorer)
+// and remain the fast path used by the simulators.
+
+// WireParams hold the interconnect constants of the organisation
+// explorer. Defaults are ITRS-45nm-class, like the paper's CACTI setup.
+type WireParams struct {
+	// RPerUM and CPerUM are wire resistance (ohm/µm) and capacitance
+	// (fF/µm) of intermediate-level wires.
+	RPerUM float64
+	CPerUM float64
+	// CellWidthUM and CellHeightUM are the 6T cell's pitch.
+	CellWidthUM  float64
+	CellHeightUM float64
+	// CGateFF is the gate capacitance of a minimum inverter (fF).
+	CGateFF float64
+	// CDrainFF is the drain (diffusion) capacitance per access
+	// transistor on a bitline (fF).
+	CDrainFF float64
+	// RonOhm is the on-resistance of a minimum driver.
+	RonOhm float64
+	// SenseAmpDelayNS and SenseAmpEnergyFJ are per-activation constants.
+	SenseAmpDelayNS  float64
+	SenseAmpEnergyFJ float64
+	// BitlineSwing is the fraction of VDD a bitline swings before the
+	// sense amp fires.
+	BitlineSwing float64
+	// DecoderStageDelayNS is the delay of one decoder stage (FO4-ish).
+	DecoderStageDelayNS float64
+}
+
+// DefaultWireParams returns 45 nm-class interconnect constants.
+func DefaultWireParams() WireParams {
+	return WireParams{
+		RPerUM:              1.2,  // ohm/µm
+		CPerUM:              0.20, // fF/µm
+		CellWidthUM:         0.90, // 6T pitch
+		CellHeightUM:        0.42,
+		CGateFF:             0.9,
+		CDrainFF:            0.45,
+		RonOhm:              4000,
+		SenseAmpDelayNS:     0.05,
+		SenseAmpEnergyFJ:    4.0,
+		BitlineSwing:        0.12,
+		DecoderStageDelayNS: 0.035,
+	}
+}
+
+// Organization is one evaluated data-array partition.
+type Organization struct {
+	// NDWL and NDBL are the wordline and bitline division counts: the
+	// array is split into NDWL x NDBL subarrays.
+	NDWL, NDBL int
+	// SubRows and SubCols are one subarray's dimensions in cells.
+	SubRows, SubCols int
+	// AccessNS is the critical-path access time: decoder + wordline +
+	// bitline + sense amp + H-tree routing.
+	AccessNS float64
+	// ReadEnergyPJ is the dynamic energy of one read access.
+	ReadEnergyPJ float64
+	// AreaMM2 is the data-array area including per-subarray periphery.
+	AreaMM2 float64
+	// EDP is the energy-delay product used for ranking.
+	EDP float64
+}
+
+// Explore evaluates all power-of-two partitions of the organisation's
+// data array up to maxDiv divisions per axis and returns every candidate,
+// best (minimum energy-delay product) first. It returns an error for
+// degenerate geometries.
+func Explore(org Org, wp WireParams, maxDiv int) ([]Organization, error) {
+	if err := org.Validate(); err != nil {
+		return nil, err
+	}
+	if maxDiv < 1 {
+		maxDiv = 1
+	}
+	// Logical array: one row per block (the paper's layout: a data
+	// subarray row holds (part of) a single block), bits-per-block
+	// columns, replicated over the ways by NDWL-style splitting.
+	totalRows := org.Blocks()
+	totalCols := org.BlockBits()
+
+	var out []Organization
+	for ndwl := 1; ndwl <= maxDiv; ndwl *= 2 {
+		for ndbl := 1; ndbl <= maxDiv; ndbl *= 2 {
+			subRows := totalRows / ndbl
+			subCols := totalCols // wordline splits replicate columns across mats
+			if ndwl > 1 {
+				subCols = totalCols / ndwl
+			}
+			if subRows < 16 || subCols < 16 {
+				continue // degenerate subarray
+			}
+			o := evaluate(org, wp, ndwl, ndbl, subRows, subCols)
+			out = append(out, o)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cacti: no feasible partition for %s", org.Name)
+	}
+	// Selection sort by EDP: candidate lists are tiny.
+	for i := range out {
+		best := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].EDP < out[best].EDP {
+				best = j
+			}
+		}
+		out[i], out[best] = out[best], out[i]
+	}
+	return out, nil
+}
+
+// evaluate computes delay, energy and area for one partition.
+func evaluate(org Org, wp WireParams, ndwl, ndbl, subRows, subCols int) Organization {
+	// Wordline: RC of a wire across subCols cells driving subCols gates.
+	wlLenUM := float64(subCols) * wp.CellWidthUM
+	wlR := wp.RPerUM * wlLenUM
+	wlC := wp.CPerUM*wlLenUM + float64(subCols)*wp.CGateFF
+	// Elmore delay with a driver: 0.69*(Ron*C + R*C/2), fF*ohm = 1e-6 ns.
+	wlDelayNS := 0.69 * (wp.RonOhm*wlC + wlR*wlC/2) * 1e-6
+
+	// Bitline: one drain cap per row plus wire.
+	blLenUM := float64(subRows) * wp.CellHeightUM
+	blR := wp.RPerUM * blLenUM
+	blC := wp.CPerUM*blLenUM + float64(subRows)*wp.CDrainFF
+	// The cell discharges the bitline through its (weak) access path:
+	// ~4x the min driver resistance, to a partial swing.
+	blDelayNS := 0.69 * (4*wp.RonOhm + blR/2) * blC * 1e-6 * wp.BitlineSwing / 0.5
+
+	// Decoder: log4 stages for subRows entries.
+	stages := math.Ceil(math.Log2(float64(subRows)) / 2)
+	decDelayNS := stages * wp.DecoderStageDelayNS
+
+	// H-tree: route from the cache port to the farthest subarray.
+	mats := float64(ndwl * ndbl)
+	subAreaUM2 := wlLenUM * blLenUM
+	htreeLenUM := math.Sqrt(subAreaUM2 * mats) // half-perimeter-ish
+	htR := wp.RPerUM * htreeLenUM
+	htC := wp.CPerUM * htreeLenUM
+	htDelayNS := 0.69 * (wp.RonOhm*htC + htR*htC/2) * 1e-6
+
+	accessNS := decDelayNS + wlDelayNS + blDelayNS + wp.SenseAmpDelayNS + htDelayNS
+
+	// Energy: one wordline swings full rail, subCols bitlines swing
+	// partially, subCols sense amps fire, and the H-tree carries the
+	// block out. E = C*V^2 with V = 1.0 here; fF*V^2 = fJ.
+	wlEnergyFJ := wlC // * 1.0^2
+	blEnergyFJ := float64(subCols) * blC * wp.BitlineSwing
+	saEnergyFJ := float64(subCols) * wp.SenseAmpEnergyFJ
+	htEnergyFJ := htC * float64(org.BlockBits()) / 64 // burst out
+	readEnergyPJ := (wlEnergyFJ + blEnergyFJ + saEnergyFJ + htEnergyFJ) * 1e-3
+
+	// Area: cells plus per-subarray periphery strips (decoder column,
+	// sense-amp row), plus H-tree routing overhead.
+	cellAreaUM2 := float64(org.Blocks()*org.BlockBits()) * wp.CellWidthUM * wp.CellHeightUM
+	periphUM2 := mats * (blLenUM*12*wp.CellWidthUM + wlLenUM*8*wp.CellHeightUM)
+	areaMM2 := (cellAreaUM2 + periphUM2) * 1e-6 * 1.08 // routing factor
+
+	return Organization{
+		NDWL: ndwl, NDBL: ndbl,
+		SubRows: subRows, SubCols: subCols,
+		AccessNS:     accessNS,
+		ReadEnergyPJ: readEnergyPJ,
+		AreaMM2:      areaMM2,
+		EDP:          accessNS * readEnergyPJ,
+	}
+}
+
+// Organize returns the energy-delay-optimal partition for the
+// organisation (the explorer's first result).
+func Organize(org Org, wp WireParams, maxDiv int) (Organization, error) {
+	all, err := Explore(org, wp, maxDiv)
+	if err != nil {
+		return Organization{}, err
+	}
+	return all[0], nil
+}

@@ -1,0 +1,125 @@
+package cacti
+
+import (
+	"testing"
+)
+
+func TestExploreReturnsCandidates(t *testing.T) {
+	all, err := Explore(l1A(), DefaultWireParams(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 4 {
+		t.Fatalf("only %d candidates", len(all))
+	}
+	// Sorted by EDP ascending.
+	for i := 1; i < len(all); i++ {
+		if all[i].EDP < all[i-1].EDP {
+			t.Fatalf("candidates not sorted at %d", i)
+		}
+	}
+	for _, o := range all {
+		if o.AccessNS <= 0 || o.ReadEnergyPJ <= 0 || o.AreaMM2 <= 0 {
+			t.Fatalf("non-positive metrics: %+v", o)
+		}
+		if o.SubRows*o.NDBL != l1A().Blocks() {
+			t.Fatalf("row partition inconsistent: %+v", o)
+		}
+	}
+}
+
+func TestPartitioningHelps(t *testing.T) {
+	// The monolithic (1x1) organisation of a large array must lose to
+	// the best partition on both delay and EDP.
+	org := l2A()
+	all, err := Explore(org, DefaultWireParams(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mono *Organization
+	for i := range all {
+		if all[i].NDWL == 1 && all[i].NDBL == 1 {
+			mono = &all[i]
+		}
+	}
+	if mono == nil {
+		t.Fatal("monolithic candidate missing")
+	}
+	best := all[0]
+	if best.NDWL == 1 && best.NDBL == 1 {
+		t.Fatal("monolithic organisation won for a 2 MB array")
+	}
+	if best.AccessNS >= mono.AccessNS {
+		t.Errorf("best access %v not below monolithic %v", best.AccessNS, mono.AccessNS)
+	}
+	if best.EDP >= mono.EDP {
+		t.Errorf("best EDP %v not below monolithic %v", best.EDP, mono.EDP)
+	}
+}
+
+func TestOrganizePicksBest(t *testing.T) {
+	all, err := Explore(l1A(), DefaultWireParams(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Organize(l1A(), DefaultWireParams(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != all[0] {
+		t.Error("Organize disagrees with Explore head")
+	}
+}
+
+func TestLargerCachesSlower(t *testing.T) {
+	small, err := Organize(l1A(), DefaultWireParams(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Organize(l2A(), DefaultWireParams(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.AccessNS <= small.AccessNS {
+		t.Errorf("2MB access %v not above 64KB %v", big.AccessNS, small.AccessNS)
+	}
+	if big.AreaMM2 <= small.AreaMM2 {
+		t.Error("2MB not larger in area")
+	}
+}
+
+func TestClosedFormsTrackExplorer(t *testing.T) {
+	// The fast closed forms used by the simulators must stay within a
+	// factor of ~3 of the physical explorer's optimum for the paper's
+	// cache sizes (they are calibrated curves, not the same model).
+	wp := DefaultWireParams()
+	for _, org := range []Org{l1A(), l2A()} {
+		m := mustModel(t, org)
+		opt, err := Organize(org, wp, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := m.AccessDelayNS(1.0)
+		if ratio := closed / opt.AccessNS; ratio < 0.33 || ratio > 3 {
+			t.Errorf("%s: closed-form delay %v vs explorer %v (ratio %v)",
+				org.Name, closed, opt.AccessNS, ratio)
+		}
+	}
+}
+
+func TestExploreRejectsBadOrg(t *testing.T) {
+	if _, err := Explore(Org{Name: "bad"}, DefaultWireParams(), 8); err == nil {
+		t.Error("bad org accepted")
+	}
+}
+
+func TestExploreTinyArrayStillFeasible(t *testing.T) {
+	tiny := Org{Name: "tiny", SizeBytes: 4 << 10, Assoc: 2, BlockBytes: 64, AddrBits: 40}
+	all, err := Explore(tiny, DefaultWireParams(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("no candidates for tiny array")
+	}
+}

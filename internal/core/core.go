@@ -1,0 +1,311 @@
+// Package core implements the paper's contribution: the power/capacity
+// scaling (PCS) cache architecture. It glues the mechanism together —
+// the compressed multi-VDD fault map (internal/faultmap), per-block
+// power gating of faulty blocks, and global data-array voltage scaling
+// over a functional cache (internal/cache) with energy accounting from
+// the analytical power model (internal/cacti) — and provides the two
+// policies:
+//
+//   - SPCS: statically run at the lowest voltage keeping ≥99 % of blocks
+//     non-faulty (and every set usable), set once for the whole runtime.
+//   - DPCS: dynamically step the voltage between the yield-constrained
+//     floor (VDD1) and the SPCS voltage (VDD2) based on sampled average
+//     access time (Listing 1), with the paper's transition procedure
+//     (Listing 2) handling writebacks, invalidations and Faulty-bit
+//     updates at every voltage change.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cacti"
+	"repro/internal/faultmap"
+)
+
+// Mode selects the cache management policy.
+type Mode int
+
+const (
+	// Baseline is a conventional cache fixed at nominal VDD with no
+	// fault tolerance (and no PCS overheads).
+	Baseline Mode = iota
+	// SPCS is the static power/capacity scaling policy.
+	SPCS
+	// DPCS is the dynamic power/capacity scaling policy.
+	DPCS
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "baseline"
+	case SPCS:
+		return "SPCS"
+	case DPCS:
+		return "DPCS"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// TransitionResult reports what one voltage transition did.
+type TransitionResult struct {
+	// FromLevel and ToLevel are 1-based VDD levels.
+	FromLevel, ToLevel int
+	// Writebacks counts dirty valid blocks written back because they
+	// become faulty at the new voltage.
+	Writebacks int
+	// Invalidations counts valid blocks invalidated.
+	Invalidations int
+	// NewFaulty and Recovered count Faulty bits set and cleared.
+	NewFaulty, Recovered int
+	// PenaltyCycles is the total stall the transition costs: two cycles
+	// per set (read, process and rewrite metadata through the tag array)
+	// plus the voltage-settling penalty.
+	PenaltyCycles uint64
+}
+
+// Controller manages one PCS-enabled cache instance: its fault map, its
+// current voltage level, and its energy accounting. A Controller with
+// Mode Baseline has no fault map and stays at the top level.
+type Controller struct {
+	Mode   Mode
+	Cache  *cache.Cache
+	Map    *faultmap.Map // nil in Baseline mode
+	Levels faultmap.Levels
+	Power  *cacti.Model
+	// VoltagePenaltyCycles is the data-array supply settling time added
+	// to every transition (Table 2's "+20" / "+40").
+	VoltagePenaltyCycles uint64
+	// ClockHz converts cycles to seconds for static-energy integration.
+	ClockHz float64
+
+	level     int // current 1-based VDD level
+	lastCycle uint64
+
+	// Energy accounting (joules).
+	staticJ     float64
+	dynamicJ    float64
+	transitionJ float64
+
+	// Transition bookkeeping.
+	transitions       int
+	transitionCycles  uint64
+	transitionWBs     uint64
+	timeAtLevelCycles []uint64 // indexed by level-1
+
+	// pendingRefill records the block addresses a transition invalidated
+	// whose next miss is a one-time refill rather than steady-state
+	// damage; refillMisses counts how many such misses have occurred.
+	// The policy uses the distinction to avoid mistaking the refill
+	// burst after a descent for the lower voltage hurting. (Hardware
+	// would approximate this with a small Bloom filter or region
+	// counters; the simulator tracks it exactly.)
+	pendingRefill map[uint64]struct{}
+	refillMisses  uint64
+}
+
+// NewController wires a cache, fault map and power model together.
+// For Baseline mode pass a nil map; the controller pins the top level.
+func NewController(mode Mode, c *cache.Cache, m *faultmap.Map, levels faultmap.Levels, power *cacti.Model, clockHz float64, voltagePenalty uint64) (*Controller, error) {
+	if c == nil || power == nil {
+		return nil, fmt.Errorf("core: nil cache or power model")
+	}
+	if levels.N() == 0 {
+		return nil, fmt.Errorf("core: empty voltage levels")
+	}
+	if mode != Baseline {
+		if m == nil {
+			return nil, fmt.Errorf("core: %v mode requires a fault map", mode)
+		}
+		if m.NumBlocks() != c.NumBlocks() {
+			return nil, fmt.Errorf("core: fault map has %d blocks, cache has %d",
+				m.NumBlocks(), c.NumBlocks())
+		}
+		if m.Levels().N() != levels.N() {
+			return nil, fmt.Errorf("core: fault map encodes %d levels, controller given %d",
+				m.Levels().N(), levels.N())
+		}
+	}
+	if clockHz <= 0 {
+		return nil, fmt.Errorf("core: non-positive clock %v", clockHz)
+	}
+	return &Controller{
+		Mode:                 mode,
+		Cache:                c,
+		Map:                  m,
+		Levels:               levels,
+		Power:                power,
+		VoltagePenaltyCycles: voltagePenalty,
+		ClockHz:              clockHz,
+		level:                levels.N(),
+		timeAtLevelCycles:    make([]uint64, levels.N()),
+	}, nil
+}
+
+// Level returns the current 1-based VDD level.
+func (ct *Controller) Level() int { return ct.level }
+
+// VDD returns the current data-array supply voltage.
+func (ct *Controller) VDD() float64 { return ct.Levels.Volts(ct.level) }
+
+// ActiveFraction returns the fraction of blocks not power-gated at the
+// current level.
+func (ct *Controller) ActiveFraction() float64 {
+	return 1 - float64(ct.Cache.FaultyCount())/float64(ct.Cache.NumBlocks())
+}
+
+// AdvanceTo integrates static power up to the given cycle. Callers must
+// invoke it with non-decreasing cycle counts; transitions and final
+// accounting call it implicitly.
+func (ct *Controller) AdvanceTo(cycle uint64) {
+	if cycle < ct.lastCycle {
+		panic(fmt.Sprintf("core: time went backwards: %d -> %d", ct.lastCycle, cycle))
+	}
+	dc := cycle - ct.lastCycle
+	if dc == 0 {
+		return
+	}
+	dt := float64(dc) / ct.ClockHz
+	p := ct.Power.StaticPower(ct.VDD(), ct.ActiveFraction())
+	ct.staticJ += p.TotalW * dt
+	ct.timeAtLevelCycles[ct.level-1] += dc
+	ct.lastCycle = cycle
+}
+
+// OnAccess charges the dynamic energy of one access at the current VDD.
+func (ct *Controller) OnAccess(write bool) {
+	e := ct.Power.AccessEnergy(ct.VDD(), write)
+	ct.dynamicJ += e.TotalPJ * 1e-12
+}
+
+// OnFill charges the dynamic energy of a block fill (a write of the
+// whole block into the data array).
+func (ct *Controller) OnFill() {
+	e := ct.Power.AccessEnergy(ct.VDD(), true)
+	ct.dynamicJ += e.TotalPJ * 1e-12
+}
+
+// Transition implements the paper's Listing 2: move the cache to the
+// 1-based level next, writing back dirty valid blocks that become
+// faulty (via sink), invalidating them, and updating every Faulty bit by
+// comparing the intended VDD code against each block's FM bits. The
+// static energy up to `now` is integrated first; the transition's own
+// stall is PenaltyCycles, which the caller adds to execution time (and
+// subsequent AdvanceTo calls then charge its static energy).
+func (ct *Controller) Transition(next int, now uint64, sink func(addr uint64)) TransitionResult {
+	if ct.Mode == Baseline {
+		panic("core: Transition on a baseline controller")
+	}
+	if next < 1 || next > ct.Levels.N() {
+		panic(fmt.Sprintf("core: transition to level %d out of 1..%d", next, ct.Levels.N()))
+	}
+	ct.AdvanceTo(now)
+	res := TransitionResult{FromLevel: ct.level, ToLevel: next}
+
+	sets, ways := ct.Cache.Sets(), ct.Cache.Ways()
+	for s := 0; s < sets; s++ {
+		// The hardware handles each way of the set in parallel; the cost
+		// model below charges two cycles per set regardless of ways.
+		for w := 0; w < ways; w++ {
+			b := ct.Cache.BlockIndex(s, w)
+			meta := ct.Cache.Meta(s, w)
+			if ct.Map.FaultyAt(b, next) {
+				if meta.Valid {
+					if meta.Dirty {
+						if need, addr := ct.Cache.InvalidateFrame(s, w); need {
+							res.Writebacks++
+							if sink != nil {
+								sink(addr)
+							}
+						}
+					} else {
+						ct.Cache.InvalidateFrame(s, w)
+					}
+					res.Invalidations++
+					if ct.pendingRefill == nil {
+						ct.pendingRefill = make(map[uint64]struct{})
+					}
+					ct.pendingRefill[meta.Addr] = struct{}{}
+				}
+				if !meta.Faulty {
+					res.NewFaulty++
+				}
+				ct.Cache.SetFaulty(s, w, true)
+			} else {
+				if meta.Faulty {
+					res.Recovered++
+				}
+				ct.Cache.SetFaulty(s, w, false)
+			}
+		}
+	}
+	res.PenaltyCycles = 2*uint64(sets) + ct.VoltagePenaltyCycles
+
+	// Transition dynamic energy: one tag-array read + one write per set
+	// (metadata processing); modelled as the fixed per-access energy.
+	eFixed := ct.Power.AccessEnergy(ct.Levels.Volts(next), false).FixedPJ
+	ct.transitionJ += 2 * float64(sets) * eFixed * 1e-12
+
+	ct.level = next
+	ct.transitions++
+	ct.transitionCycles += res.PenaltyCycles
+	ct.transitionWBs += uint64(res.Writebacks)
+	return res
+}
+
+// EnergyReport summarises the controller's accumulated energy.
+type EnergyReport struct {
+	StaticJ     float64
+	DynamicJ    float64
+	TransitionJ float64
+	TotalJ      float64
+}
+
+// Energy finalises static integration at cycle `now` and returns the
+// accumulated energy.
+func (ct *Controller) Energy(now uint64) EnergyReport {
+	ct.AdvanceTo(now)
+	return EnergyReport{
+		StaticJ:     ct.staticJ,
+		DynamicJ:    ct.dynamicJ,
+		TransitionJ: ct.transitionJ,
+		TotalJ:      ct.staticJ + ct.dynamicJ + ct.transitionJ,
+	}
+}
+
+// NoteMiss classifies a demand miss: if the missed block was invalidated
+// by an earlier voltage transition, the miss is counted as a one-time
+// refill. Simulators call it for every miss at this cache.
+func (ct *Controller) NoteMiss(blockAddr uint64) {
+	if ct.pendingRefill == nil {
+		return
+	}
+	if _, ok := ct.pendingRefill[blockAddr]; ok {
+		delete(ct.pendingRefill, blockAddr)
+		ct.refillMisses++
+	}
+}
+
+// RefillMisses returns the cumulative count of misses classified as
+// transition-induced refills.
+func (ct *Controller) RefillMisses() uint64 { return ct.refillMisses }
+
+// Transitions returns how many voltage transitions have occurred.
+func (ct *Controller) Transitions() int { return ct.transitions }
+
+// TransitionCycles returns the total stall cycles spent in transitions.
+func (ct *Controller) TransitionCycles() uint64 { return ct.transitionCycles }
+
+// TransitionWritebacks returns dirty blocks written back by transitions.
+func (ct *Controller) TransitionWritebacks() uint64 { return ct.transitionWBs }
+
+// TimeAtLevelCycles returns the cycles spent at each level (index 0 =
+// level 1), as integrated so far.
+func (ct *Controller) TimeAtLevelCycles() []uint64 {
+	out := make([]uint64, len(ct.timeAtLevelCycles))
+	copy(out, ct.timeAtLevelCycles)
+	return out
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/faultmap"
+	"repro/internal/faultmodel"
+	"repro/internal/stats"
+)
+
+// LevelPlan is the design-time voltage plan for one cache: the allowed
+// VDD levels and which of them the SPCS policy uses.
+type LevelPlan struct {
+	// Levels holds {VDD1, VDD2, VDD3} lowest-first.
+	Levels faultmap.Levels
+	// SPCSLevel is the 1-based index of the SPCS voltage (VDD2).
+	SPCSLevel int
+	// Model is the fault model the plan was derived from.
+	Model *faultmodel.Model
+}
+
+// SelectLevels derives the paper's three-voltage plan for a cache from
+// its fault model: VDD3 = nominal, VDD2 = lowest voltage with ≥99 %
+// expected block survival (SPCS), VDD1 = lowest voltage with ≥99 %
+// cache yield and expected capacity at least capFloor (the DPCS floor;
+// see faultmodel.VDD1CapacityFloorL1/LLC). Voltages land on the shared
+// 10 mV grid.
+func SelectLevels(m *faultmodel.Model, nominal, lo, capFloor float64) (LevelPlan, error) {
+	vdd1, vdd2, vdd3, err := m.VDDLevels(nominal, lo, capFloor)
+	if err != nil {
+		return LevelPlan{}, err
+	}
+	var volts []float64
+	// Degenerate overlaps (tiny caches can have VDD1 == VDD2) collapse
+	// into fewer distinct levels.
+	volts = append(volts, vdd1)
+	if vdd2 > vdd1 {
+		volts = append(volts, vdd2)
+	}
+	if vdd3 > volts[len(volts)-1] {
+		volts = append(volts, vdd3)
+	}
+	levels, err := faultmap.NewLevels(volts...)
+	if err != nil {
+		return LevelPlan{}, err
+	}
+	spcs := levels.LevelOf(vdd2)
+	if spcs == 0 {
+		return LevelPlan{}, fmt.Errorf("core: SPCS voltage %v not among levels", vdd2)
+	}
+	return LevelPlan{Levels: levels, SPCSLevel: spcs, Model: m}, nil
+}
+
+// PopulateMapMonteCarlo fills a fault map by sampling each block's fault
+// quantile once and comparing it against the per-level block failure
+// probabilities. Drawing a single uniform per block and thresholding it
+// at every level is exactly equivalent to sampling the block's minimum
+// reliable voltage, so the fault inclusion property holds per block by
+// construction — the same property the BIST path observes physically.
+func PopulateMapMonteCarlo(rng *stats.RNG, plan LevelPlan, nblocks int) *faultmap.Map {
+	m := faultmap.NewMap(plan.Levels, nblocks)
+	n := plan.Levels.N()
+	// pFail[k-1] = block failure probability at level k. Probabilities
+	// are non-increasing in voltage, hence non-increasing in k.
+	pFail := make([]float64, n)
+	for k := 1; k <= n; k++ {
+		pFail[k-1] = plan.Model.PBlockFail(plan.Levels.Volts(k))
+	}
+	for b := 0; b < nblocks; b++ {
+		u := rng.Float64()
+		fm := 0
+		for k := n; k >= 1; k-- {
+			if u < pFail[k-1] {
+				fm = k
+				break
+			}
+		}
+		m.SetFM(b, fm)
+	}
+	return m
+}
+
+// EnsureSetsUsable verifies the mechanism's structural constraint on a
+// populated map: at the given level, every set must keep at least one
+// non-faulty block. It returns the indices of violating sets (empty when
+// the constraint holds). Design-time yield targets make violations rare;
+// manufacturing flows would discard or downbin such dies.
+func EnsureSetsUsable(m *faultmap.Map, sets, ways, level int) []int {
+	var bad []int
+	for s := 0; s < sets; s++ {
+		ok := false
+		for w := 0; w < ways; w++ {
+			if !m.FaultyAt(s*ways+w, level) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			bad = append(bad, s)
+		}
+	}
+	return bad
+}
+
+// RepairSets force-clears the FM value of one block in each listed set
+// so the set keeps a usable block at every level. This models the
+// manufacturing test discarding the rare die that violates the set
+// constraint and replacing it with a yielding one; simulations use it so
+// a single unlucky Monte-Carlo draw cannot wedge a run.
+func RepairSets(m *faultmap.Map, ways int, badSets []int) {
+	for _, s := range badSets {
+		m.SetFM(s*ways, 0)
+	}
+}

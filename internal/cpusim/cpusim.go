@@ -1,0 +1,553 @@
+// Package cpusim is the architectural simulator substrate that stands in
+// for the paper's gem5 setup (see DESIGN.md §2): a trace-driven core with
+// unit base CPI, split L1 instruction/data caches, a unified L2 and a
+// fixed-latency DRAM. Loads and fetches stall the core on misses
+// (L1 miss adds the L2 hit latency; L2 miss adds the memory latency);
+// writebacks consume bandwidth-free energy only. Each cache runs under a
+// core.Controller (baseline / SPCS / DPCS), and DPCS policies tick per
+// cache with their own intervals, exactly as Table 2 configures.
+package cpusim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cacti"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/faultmap"
+	"repro/internal/faultmodel"
+	"repro/internal/sram"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// CacheSpec describes one cache level of a system configuration.
+type CacheSpec struct {
+	Org       cacti.Org
+	HitCycles uint64
+	// DPCS policy knobs for this cache.
+	Interval uint64
+	// VoltagePenaltyCycles is the supply-settling part of the
+	// transition penalty (the "+20"/"+40" of Table 2).
+	VoltagePenaltyCycles uint64
+}
+
+// SystemConfig is one of the paper's Table 2 system configurations.
+type SystemConfig struct {
+	Name     string
+	ClockHz  float64
+	L1I, L1D CacheSpec
+	L2       CacheSpec
+	// MemCycles is the DRAM access latency in cycles.
+	MemCycles uint64
+	// MLPOverlap models out-of-order latency hiding: the fraction of
+	// each miss's stall the core overlaps with useful work (0 = fully
+	// blocking in-order, the default; the paper's detailed OoO Alpha
+	// would sit around 0.3-0.6 depending on workload ILP). Only demand
+	// stalls shrink; energy-relevant event counts are unchanged.
+	MLPOverlap float64
+	// SuperInterval, LowThreshold, HighThreshold parameterise DPCS.
+	SuperInterval               int
+	LowThreshold, HighThreshold float64
+	// Ablate disables DPCS damping refinements for ablation studies.
+	Ablate core.AblationFlags
+}
+
+// ConfigA returns the paper's Config A: 2 GHz, 64 KB 4-way split L1
+// (2-cycle), 2 MB 8-way L2 (4-cycle).
+func ConfigA() SystemConfig {
+	return SystemConfig{
+		Name:    "A",
+		ClockHz: 2e9,
+		L1I: CacheSpec{
+			Org:       cacti.Org{Name: "L1I-A", SizeBytes: 64 << 10, Assoc: 4, BlockBytes: 64, AddrBits: 40},
+			HitCycles: 2, Interval: 100_000, VoltagePenaltyCycles: 20,
+		},
+		L1D: CacheSpec{
+			Org:       cacti.Org{Name: "L1D-A", SizeBytes: 64 << 10, Assoc: 4, BlockBytes: 64, AddrBits: 40},
+			HitCycles: 2, Interval: 100_000, VoltagePenaltyCycles: 20,
+		},
+		L2: CacheSpec{
+			Org:       cacti.Org{Name: "L2-A", SizeBytes: 2 << 20, Assoc: 8, BlockBytes: 64, AddrBits: 40, SerialTagData: true},
+			HitCycles: 4, Interval: 10_000, VoltagePenaltyCycles: 20,
+		},
+		MemCycles:     200,
+		SuperInterval: 10,
+		LowThreshold:  0.02,
+		HighThreshold: 0.03,
+	}
+}
+
+// ConfigB returns the paper's Config B: 3 GHz, 256 KB 8-way split L1
+// (3-cycle), 8 MB 16-way L2 (8-cycle) — the over-provisioned system used
+// to probe DPCS's advantage on larger caches.
+func ConfigB() SystemConfig {
+	return SystemConfig{
+		Name:    "B",
+		ClockHz: 3e9,
+		L1I: CacheSpec{
+			Org:       cacti.Org{Name: "L1I-B", SizeBytes: 256 << 10, Assoc: 8, BlockBytes: 64, AddrBits: 40},
+			HitCycles: 3, Interval: 100_000, VoltagePenaltyCycles: 40,
+		},
+		L1D: CacheSpec{
+			Org:       cacti.Org{Name: "L1D-B", SizeBytes: 256 << 10, Assoc: 8, BlockBytes: 64, AddrBits: 40},
+			HitCycles: 3, Interval: 100_000, VoltagePenaltyCycles: 40,
+		},
+		L2: CacheSpec{
+			Org:       cacti.Org{Name: "L2-B", SizeBytes: 8 << 20, Assoc: 16, BlockBytes: 64, AddrBits: 40, SerialTagData: true},
+			HitCycles: 8, Interval: 10_000, VoltagePenaltyCycles: 40,
+		},
+		MemCycles:     300,
+		SuperInterval: 10,
+		LowThreshold:  0.03,
+		HighThreshold: 0.045,
+	}
+}
+
+// RunOptions control one simulation.
+type RunOptions struct {
+	// WarmupInstr instructions run before measurement starts (the
+	// paper's fast-forward; scaled down like everything else).
+	WarmupInstr uint64
+	// SimInstr instructions are measured.
+	SimInstr uint64
+	// Seed drives fault-map placement and the workload generator.
+	Seed uint64
+}
+
+// DefaultRunOptions returns the scaled-down defaults used by the test
+// suite; the cmd/pcs-sim harness uses larger values.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{WarmupInstr: 1_000_000, SimInstr: 2_000_000, Seed: 1}
+}
+
+// CacheResult reports one cache's behaviour over the measured window.
+type CacheResult struct {
+	Name        string
+	Stats       cache.Stats
+	Energy      core.EnergyReport
+	AvgPowerW   float64
+	Transitions int
+	// LevelVolts and TimeAtLevelCycles describe where the controller
+	// spent its time (index 0 = lowest level).
+	LevelVolts        []float64
+	TimeAtLevelCycles []uint64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Workload string
+	Config   string
+	Mode     core.Mode
+
+	Instructions uint64
+	Cycles       uint64
+	Seconds      float64
+	IPC          float64
+
+	L1I, L1D, L2 CacheResult
+
+	// TotalCacheEnergyJ sums all three caches' energies.
+	TotalCacheEnergyJ float64
+}
+
+// level wires one cache's simulator state together.
+type level struct {
+	spec CacheSpec
+	ctrl *core.Controller
+	dpcs *core.DPCSPolicy
+	plan core.LevelPlan
+}
+
+// System is a configured simulator instance.
+type System struct {
+	cfg    SystemConfig
+	mode   core.Mode
+	ber    sram.BERModel
+	l1i    *level
+	l1d    *level
+	l2     *level
+	cycles uint64
+}
+
+// NewSystem builds the three cache levels for the given mode, deriving
+// per-cache voltage plans from the BER model and populating fault maps
+// by seeded Monte Carlo.
+func NewSystem(cfg SystemConfig, mode core.Mode, seed uint64) (*System, error) {
+	ber := sram.NewWangCalhounBER()
+	sys := &System{cfg: cfg, mode: mode, ber: ber}
+	rng := stats.NewRNG(seed ^ 0x9C5_DEAD)
+	var err error
+	if sys.l1i, err = sys.buildLevel(cfg.L1I, rng.Split()); err != nil {
+		return nil, err
+	}
+	if sys.l1d, err = sys.buildLevel(cfg.L1D, rng.Split()); err != nil {
+		return nil, err
+	}
+	if sys.l2, err = sys.buildLevel(cfg.L2, rng.Split()); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func (s *System) buildLevel(spec CacheSpec, rng *stats.RNG) (*level, error) {
+	tech := device.Tech45SOI()
+	cm, err := cacti.New(spec.Org, tech, cacti.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	c := cache.MustNew(cache.Config{
+		Name:       spec.Org.Name,
+		SizeBytes:  spec.Org.SizeBytes,
+		Assoc:      spec.Org.Assoc,
+		BlockBytes: spec.Org.BlockBytes,
+	})
+
+	lv := &level{spec: spec}
+	if s.mode == core.Baseline {
+		levels := faultmap.MustLevels(tech.VDDNom)
+		ctrl, err := core.NewController(core.Baseline, c, nil, levels, cm, s.cfg.ClockHz, 0)
+		if err != nil {
+			return nil, err
+		}
+		lv.ctrl = ctrl
+		return lv, nil
+	}
+
+	geom := faultmodel.Geometry{Sets: c.Sets(), Ways: c.Ways(), BlockBits: spec.Org.BlockBits()}
+	fm, err := faultmodel.New(geom, s.ber)
+	if err != nil {
+		return nil, err
+	}
+	capFloor := faultmodel.VDD1CapacityFloor(spec.Org.Assoc)
+	plan, err := core.SelectLevels(fm, tech.VDDNom, tech.VDDMin, capFloor)
+	if err != nil {
+		return nil, err
+	}
+	lv.plan = plan
+	m := core.PopulateMapMonteCarlo(rng, plan, c.NumBlocks())
+	if bad := core.EnsureSetsUsable(m, c.Sets(), c.Ways(), 1); len(bad) > 0 {
+		core.RepairSets(m, c.Ways(), bad)
+	}
+	pcsCM := cm.WithPCS(plan.Levels.FMBits())
+	ctrl, err := core.NewController(s.mode, c, m, plan.Levels, pcsCM, s.cfg.ClockHz, spec.VoltagePenaltyCycles)
+	if err != nil {
+		return nil, err
+	}
+	lv.ctrl = ctrl
+
+	if s.mode == core.DPCS {
+		missPenalty := float64(s.cfg.L2.HitCycles)
+		if spec.Org.SerialTagData { // this is the L2: misses go to memory
+			missPenalty = float64(s.cfg.MemCycles)
+		}
+		pol, err := core.NewDPCS(core.DPCSConfig{
+			Interval:          spec.Interval,
+			SuperInterval:     s.cfg.SuperInterval,
+			LowThreshold:      s.cfg.LowThreshold,
+			HighThreshold:     s.cfg.HighThreshold,
+			HitCycles:         float64(spec.HitCycles),
+			MissPenaltyCycles: missPenalty,
+			SPCSLevel:         plan.SPCSLevel,
+			Ablate:            s.cfg.Ablate,
+		}, ctrl)
+		if err != nil {
+			return nil, err
+		}
+		lv.dpcs = pol
+	}
+	return lv, nil
+}
+
+// start applies the initial policy transition (SPCS and DPCS both begin
+// at the SPCS voltage; baseline stays at nominal).
+func (s *System) start() {
+	sinkL2 := s.writebackToL2
+	switch s.mode {
+	case core.SPCS:
+		core.ApplySPCS(s.l1i.ctrl, s.l1i.plan.SPCSLevel, sinkL2)
+		core.ApplySPCS(s.l1d.ctrl, s.l1d.plan.SPCSLevel, sinkL2)
+		core.ApplySPCS(s.l2.ctrl, s.l2.plan.SPCSLevel, s.writebackToMem)
+	case core.DPCS:
+		s.l1i.dpcs.Start(sinkL2)
+		s.l1d.dpcs.Start(sinkL2)
+		s.l2.dpcs.Start(s.writebackToMem)
+	}
+}
+
+// armPolicies activates the DPCS decision machinery after warm-up.
+func (s *System) armPolicies() {
+	for _, lv := range []*level{s.l1i, s.l1d, s.l2} {
+		if lv.dpcs != nil {
+			lv.dpcs.Arm(s.cycles)
+		}
+	}
+}
+
+// writebackToL2 pushes an L1 writeback into the L2 (energy, no stall).
+func (s *System) writebackToL2(addr uint64) {
+	res := s.l2.ctrl.Cache.Access(addr, true)
+	s.l2.ctrl.OnAccess(true)
+	if res.Fill && !res.Hit {
+		s.l2.ctrl.OnFill()
+	}
+	if res.Writeback {
+		s.writebackToMem(res.WritebackAddr)
+	}
+}
+
+// writebackToMem absorbs an L2 writeback (DRAM energy is outside the
+// paper's cache-energy accounting).
+func (s *System) writebackToMem(addr uint64) {}
+
+// accessL2 performs a demand L2 access, returning the added stall.
+func (s *System) accessL2(addr uint64, write bool) uint64 {
+	stall := s.cfg.L2.HitCycles
+	res := s.l2.ctrl.Cache.Access(addr, write)
+	s.l2.ctrl.OnAccess(write)
+	if !res.Hit {
+		s.l2.ctrl.NoteMiss(blockAlign(addr, s.l2.ctrl.Cache.BlockBytes()))
+		stall += s.cfg.MemCycles
+		if res.Fill {
+			s.l2.ctrl.OnFill()
+		}
+		if res.Writeback {
+			s.writebackToMem(res.WritebackAddr)
+		}
+	}
+	if s.l2.dpcs != nil {
+		s.cycles += s.l2.dpcs.Tick(s.cycles, s.writebackToMem)
+	}
+	return s.overlap(stall)
+}
+
+// overlap shrinks a demand stall by the configured MLP overlap factor.
+func (s *System) overlap(stall uint64) uint64 {
+	if s.cfg.MLPOverlap <= 0 {
+		return stall
+	}
+	f := 1 - s.cfg.MLPOverlap
+	if f < 0 {
+		f = 0
+	}
+	return uint64(float64(stall) * f)
+}
+
+// accessL1 performs a demand access on an L1, recursing into L2 on miss,
+// and returns the stall cycles beyond the pipelined hit.
+func (s *System) accessL1(lv *level, addr uint64, write bool) uint64 {
+	res := lv.ctrl.Cache.Access(addr, write)
+	lv.ctrl.OnAccess(write)
+	var stall uint64
+	if !res.Hit {
+		lv.ctrl.NoteMiss(blockAlign(addr, lv.ctrl.Cache.BlockBytes()))
+		if res.Fill {
+			lv.ctrl.OnFill()
+		}
+		if res.Writeback {
+			s.writebackToL2(res.WritebackAddr)
+		}
+		stall = s.accessL2(addr, write)
+	}
+	if lv.dpcs != nil {
+		s.cycles += lv.dpcs.Tick(s.cycles, s.writebackToL2)
+	}
+	return stall
+}
+
+// blockAlign rounds addr down to its cache-block base address.
+func blockAlign(addr uint64, blockBytes int) uint64 {
+	return addr &^ (uint64(blockBytes) - 1)
+}
+
+// step executes one instruction.
+func (s *System) step(ins *trace.Instr) {
+	s.cycles++ // base CPI of 1
+	s.cycles += s.accessL1(s.l1i, ins.PC, false)
+	if ins.HasMem {
+		s.cycles += s.accessL1(s.l1d, ins.Addr, ins.Write)
+	}
+}
+
+// Run simulates the workload under the options and returns the measured
+// window's result.
+func Run(cfg SystemConfig, mode core.Mode, w trace.Workload, opts RunOptions) (Result, error) {
+	sys, err := NewSystem(cfg, mode, opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	gen, err := trace.New(w, opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return sys.run(gen, opts)
+}
+
+// RunGenerator is Run for a caller-supplied instruction source (e.g. a
+// replayed trace): the generator's Name labels the result.
+func RunGenerator(cfg SystemConfig, mode core.Mode, gen trace.Generator, opts RunOptions) (Result, error) {
+	sys, err := NewSystem(cfg, mode, opts.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return sys.run(gen, opts)
+}
+
+// run drives a prepared system through warm-up and measurement.
+func (sys *System) run(gen trace.Generator, opts RunOptions) (Result, error) {
+	cfg := sys.cfg
+	mode := sys.mode
+	sys.start()
+
+	var ins trace.Instr
+	for i := uint64(0); i < opts.WarmupInstr; i++ {
+		gen.Next(&ins)
+		sys.step(&ins)
+	}
+	sys.armPolicies()
+	// Measurement marks.
+	startCycles := sys.cycles
+	startE := [3]core.EnergyReport{
+		sys.l1i.ctrl.Energy(sys.cycles),
+		sys.l1d.ctrl.Energy(sys.cycles),
+		sys.l2.ctrl.Energy(sys.cycles),
+	}
+	startStats := [3]cache.Stats{
+		sys.l1i.ctrl.Cache.Stats(),
+		sys.l1d.ctrl.Cache.Stats(),
+		sys.l2.ctrl.Cache.Stats(),
+	}
+	startTrans := [3]int{
+		sys.l1i.ctrl.Transitions(),
+		sys.l1d.ctrl.Transitions(),
+		sys.l2.ctrl.Transitions(),
+	}
+
+	for i := uint64(0); i < opts.SimInstr; i++ {
+		gen.Next(&ins)
+		sys.step(&ins)
+	}
+
+	cycles := sys.cycles - startCycles
+	res := Result{
+		Workload:     gen.Name(),
+		Config:       cfg.Name,
+		Mode:         mode,
+		Instructions: opts.SimInstr,
+		Cycles:       cycles,
+		Seconds:      float64(cycles) / cfg.ClockHz,
+		IPC:          float64(opts.SimInstr) / float64(cycles),
+	}
+	finish := func(lv *level, e0 core.EnergyReport, s0 cache.Stats, t0 int) CacheResult {
+		e1 := lv.ctrl.Energy(sys.cycles)
+		de := core.EnergyReport{
+			StaticJ:     e1.StaticJ - e0.StaticJ,
+			DynamicJ:    e1.DynamicJ - e0.DynamicJ,
+			TransitionJ: e1.TransitionJ - e0.TransitionJ,
+			TotalJ:      e1.TotalJ - e0.TotalJ,
+		}
+		cr := CacheResult{
+			Name:              lv.ctrl.Cache.Name(),
+			Stats:             lv.ctrl.Cache.Stats().Sub(s0),
+			Energy:            de,
+			Transitions:       lv.ctrl.Transitions() - t0,
+			LevelVolts:        lv.ctrl.Levels.All(),
+			TimeAtLevelCycles: lv.ctrl.TimeAtLevelCycles(),
+		}
+		if res.Seconds > 0 {
+			cr.AvgPowerW = de.TotalJ / res.Seconds
+		}
+		return cr
+	}
+	res.L1I = finish(sys.l1i, startE[0], startStats[0], startTrans[0])
+	res.L1D = finish(sys.l1d, startE[1], startStats[1], startTrans[1])
+	res.L2 = finish(sys.l2, startE[2], startStats[2], startTrans[2])
+	res.TotalCacheEnergyJ = res.L1I.Energy.TotalJ + res.L1D.Energy.TotalJ + res.L2.Energy.TotalJ
+	return res, nil
+}
+
+// String gives a compact one-line summary of a result.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s/%s: IPC=%.3f cycles=%d E=%.3g mJ (L1I %.3g, L1D %.3g, L2 %.3g)",
+		r.Config, r.Workload, r.Mode, r.IPC, r.Cycles,
+		r.TotalCacheEnergyJ*1e3, r.L1I.Energy.TotalJ*1e3, r.L1D.Energy.TotalJ*1e3, r.L2.Energy.TotalJ*1e3)
+}
+
+// Accessors expose the built controllers and policies so higher-level
+// substrates (internal/multicore) can compose systems from cpusim's
+// per-level construction. Policies are nil outside DPCS mode.
+
+// L1IController returns the instruction-L1 controller.
+func (s *System) L1IController() *core.Controller { return s.l1i.ctrl }
+
+// L1DController returns the data-L1 controller.
+func (s *System) L1DController() *core.Controller { return s.l1d.ctrl }
+
+// L2Controller returns the L2 controller.
+func (s *System) L2Controller() *core.Controller { return s.l2.ctrl }
+
+// L1IPolicy returns the instruction-L1 DPCS policy (nil unless DPCS).
+func (s *System) L1IPolicy() *core.DPCSPolicy { return s.l1i.dpcs }
+
+// L1DPolicy returns the data-L1 DPCS policy (nil unless DPCS).
+func (s *System) L1DPolicy() *core.DPCSPolicy { return s.l1d.dpcs }
+
+// L2Policy returns the L2 DPCS policy (nil unless DPCS).
+func (s *System) L2Policy() *core.DPCSPolicy { return s.l2.dpcs }
+
+// SPCSLevels returns each cache's SPCS voltage level (the VDD2 index),
+// or the top level in Baseline mode.
+func (s *System) SPCSLevels() (l1i, l1d, l2 int) {
+	pick := func(lv *level) int {
+		if s.mode == core.Baseline {
+			return lv.ctrl.Levels.N()
+		}
+		return lv.plan.SPCSLevel
+	}
+	return pick(s.l1i), pick(s.l1d), pick(s.l2)
+}
+
+// DebugResult augments Result with policy internals for diagnostics.
+type DebugResult struct {
+	Result   Result
+	Policies [3]*core.DPCSPolicy // L1I, L1D, L2 (nil unless DPCS)
+}
+
+// RunDebug is Run, also returning the DPCS policy objects for inspection.
+func RunDebug(cfg SystemConfig, mode core.Mode, w trace.Workload, opts RunOptions) (DebugResult, error) {
+	sys, err := NewSystem(cfg, mode, opts.Seed)
+	if err != nil {
+		return DebugResult{}, err
+	}
+	gen, err := trace.New(w, opts.Seed)
+	if err != nil {
+		return DebugResult{}, err
+	}
+	res, err := sys.run(gen, opts)
+	if err != nil {
+		return DebugResult{}, err
+	}
+	return DebugResult{Result: res, Policies: [3]*core.DPCSPolicy{sys.l1i.dpcs, sys.l1d.dpcs, sys.l2.dpcs}}, nil
+}
+
+// RunDebugTrace runs a DPCS simulation with a decision-trace callback
+// attached to the L2 policy.
+func RunDebugTrace(cfg SystemConfig, w trace.Workload, opts RunOptions, tracef func(string, ...any)) (DebugResult, error) {
+	sys, err := NewSystem(cfg, core.DPCS, opts.Seed)
+	if err != nil {
+		return DebugResult{}, err
+	}
+	if sys.l2.dpcs != nil {
+		sys.l2.dpcs.Trace = tracef
+	}
+	gen, err := trace.New(w, opts.Seed)
+	if err != nil {
+		return DebugResult{}, err
+	}
+	res, err := sys.run(gen, opts)
+	if err != nil {
+		return DebugResult{}, err
+	}
+	return DebugResult{Result: res, Policies: [3]*core.DPCSPolicy{sys.l1i.dpcs, sys.l1d.dpcs, sys.l2.dpcs}}, nil
+}

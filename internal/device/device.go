@@ -1,0 +1,190 @@
+// Package device models 45 nm-class MOSFET behaviour at the level of
+// detail the cache power/delay models need: subthreshold (plus gate)
+// leakage current as a function of supply voltage, drive current, and
+// gate-delay scaling following the alpha-power law.
+//
+// The paper obtained NFET/PFET on/off currents from SPICE models of an
+// industrial 45 nm SOI process (the Red Cooper test-chip process) and fed
+// them into CACTI 6.5. We substitute a compact analytical model with
+// parameters chosen to land in 45 nm-class magnitudes; only the
+// *dependence on VDD* (exponential leakage, ~V^2 dynamic energy,
+// alpha-power delay) enters the reproduced results.
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// ThresholdClass selects the transistor threshold flavour. The paper uses
+// regular-Vt (RVT) FETs for the SRAM bit cells and low-Vt (LVT) FETs for
+// peripheral logic (faster but leakier).
+type ThresholdClass int
+
+const (
+	// RVT is the regular threshold voltage class used for SRAM cells.
+	RVT ThresholdClass = iota
+	// LVT is the low threshold voltage class used for periphery.
+	LVT
+)
+
+// String implements fmt.Stringer.
+func (t ThresholdClass) String() string {
+	switch t {
+	case RVT:
+		return "RVT"
+	case LVT:
+		return "LVT"
+	default:
+		return fmt.Sprintf("ThresholdClass(%d)", int(t))
+	}
+}
+
+// Params collects the technology parameters of one device class.
+type Params struct {
+	// Name identifies the class for reports.
+	Name string
+	// Vth is the threshold voltage in volts.
+	Vth float64
+	// IoffNom is the off-state (leakage) current at VDDNom, in amperes,
+	// for a minimum-width device.
+	IoffNom float64
+	// IonNom is the on-state drive current at VDDNom, in amperes, for a
+	// minimum-width device.
+	IonNom float64
+	// DIBLDecadesPerVolt is the leakage sensitivity to VDD: each volt of
+	// supply reduction cuts leakage current by this many decades
+	// (drain-induced barrier lowering plus gate-leakage reduction).
+	DIBLDecadesPerVolt float64
+	// Alpha is the velocity-saturation exponent of the alpha-power delay
+	// law (between 1 and 2; ~1.3 at 45 nm).
+	Alpha float64
+}
+
+// Tech describes a process technology: its nominal supply and the device
+// classes available in it.
+type Tech struct {
+	// Name identifies the technology node.
+	Name string
+	// VDDNom is the nominal supply voltage in volts (1.0 V for the
+	// paper's 45 nm SOI process).
+	VDDNom float64
+	// VDDMin is the lowest supply the models are calibrated for.
+	VDDMin float64
+	// RVT and LVT are the two device classes.
+	RVT, LVT Params
+}
+
+// Tech45SOI returns the 45 nm SOI technology model used throughout the
+// reproduction. Magnitudes are 45 nm-class; see DESIGN.md §5.
+func Tech45SOI() Tech {
+	return Tech{
+		Name:   "45nm-SOI",
+		VDDNom: 1.0,
+		VDDMin: 0.30,
+		RVT: Params{
+			Name:               "RVT",
+			Vth:                0.38,
+			IoffNom:            20e-9, // 20 nA off current per min-width device
+			IonNom:             600e-6,
+			DIBLDecadesPerVolt: 1.5,
+			Alpha:              1.3,
+		},
+		LVT: Params{
+			Name:               "LVT",
+			Vth:                0.28,
+			IoffNom:            200e-9, // ~10x leakier than RVT
+			IonNom:             900e-6,
+			DIBLDecadesPerVolt: 1.4,
+			Alpha:              1.3,
+		},
+	}
+}
+
+// Class returns the parameters for the given threshold class.
+func (t Tech) Class(c ThresholdClass) Params {
+	if c == LVT {
+		return t.LVT
+	}
+	return t.RVT
+}
+
+// LeakageCurrent returns the off-state current (amperes) of a min-width
+// device of class c at supply voltage vdd. The dependence is exponential
+// in VDD through the DIBL coefficient:
+//
+//	Ioff(V) = IoffNom * 10^(DIBL * (V - VDDNom))
+//
+// The result is clamped below at 1/10^6 of nominal to avoid underflow in
+// long products; a power-gated device is modelled as exactly zero by the
+// callers, not here.
+func (t Tech) LeakageCurrent(c ThresholdClass, vdd float64) float64 {
+	p := t.Class(c)
+	i := p.IoffNom * math.Pow(10, p.DIBLDecadesPerVolt*(vdd-t.VDDNom))
+	floor := p.IoffNom * 1e-6
+	if i < floor {
+		i = floor
+	}
+	return i
+}
+
+// LeakagePower returns the static power (watts) of a min-width device of
+// class c at supply vdd: P = V * Ioff(V).
+func (t Tech) LeakagePower(c ThresholdClass, vdd float64) float64 {
+	if vdd <= 0 {
+		return 0
+	}
+	return vdd * t.LeakageCurrent(c, vdd)
+}
+
+// DelayFactor returns the gate-delay multiplier of class c at supply vdd
+// relative to nominal, following the alpha-power law:
+//
+//	d(V)/d(Vnom) = [V / (V-Vth)^alpha] / [Vnom / (Vnom-Vth)^alpha]
+//
+// It returns +Inf for vdd <= Vth (the device cannot switch).
+func (t Tech) DelayFactor(c ThresholdClass, vdd float64) float64 {
+	p := t.Class(c)
+	if vdd <= p.Vth {
+		return math.Inf(1)
+	}
+	num := vdd / math.Pow(vdd-p.Vth, p.Alpha)
+	den := t.VDDNom / math.Pow(t.VDDNom-p.Vth, p.Alpha)
+	return num / den
+}
+
+// DynamicEnergyFactor returns the dynamic (switching) energy multiplier at
+// supply vdd relative to nominal: E ~ C*V^2, so the factor is (V/Vnom)^2.
+func (t Tech) DynamicEnergyFactor(vdd float64) float64 {
+	r := vdd / t.VDDNom
+	return r * r
+}
+
+// Validate checks the technology parameters for physical sanity.
+func (t Tech) Validate() error {
+	if t.VDDNom <= 0 {
+		return fmt.Errorf("device: %s: nominal VDD %v must be positive", t.Name, t.VDDNom)
+	}
+	if t.VDDMin <= 0 || t.VDDMin >= t.VDDNom {
+		return fmt.Errorf("device: %s: VDDMin %v must be in (0, VDDNom)", t.Name, t.VDDMin)
+	}
+	for _, p := range []Params{t.RVT, t.LVT} {
+		if p.Vth <= 0 || p.Vth >= t.VDDNom {
+			return fmt.Errorf("device: %s/%s: Vth %v out of range", t.Name, p.Name, p.Vth)
+		}
+		if p.IoffNom <= 0 || p.IonNom <= 0 {
+			return fmt.Errorf("device: %s/%s: currents must be positive", t.Name, p.Name)
+		}
+		if p.IoffNom >= p.IonNom {
+			return fmt.Errorf("device: %s/%s: Ioff %v must be below Ion %v",
+				t.Name, p.Name, p.IoffNom, p.IonNom)
+		}
+		if p.DIBLDecadesPerVolt <= 0 {
+			return fmt.Errorf("device: %s/%s: DIBL coefficient must be positive", t.Name, p.Name)
+		}
+		if p.Alpha < 1 || p.Alpha > 2 {
+			return fmt.Errorf("device: %s/%s: alpha %v must be in [1,2]", t.Name, p.Name, p.Alpha)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTech45Validates(t *testing.T) {
+	if err := Tech45SOI().Validate(); err != nil {
+		t.Fatalf("default tech invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	mod := func(f func(*Tech)) Tech {
+		tt := Tech45SOI()
+		f(&tt)
+		return tt
+	}
+	bads := []Tech{
+		mod(func(t *Tech) { t.VDDNom = 0 }),
+		mod(func(t *Tech) { t.VDDMin = 0 }),
+		mod(func(t *Tech) { t.VDDMin = 1.5 }),
+		mod(func(t *Tech) { t.RVT.Vth = 0 }),
+		mod(func(t *Tech) { t.RVT.Vth = 2 }),
+		mod(func(t *Tech) { t.LVT.IoffNom = 0 }),
+		mod(func(t *Tech) { t.LVT.IoffNom = 1 }), // above Ion
+		mod(func(t *Tech) { t.RVT.DIBLDecadesPerVolt = 0 }),
+		mod(func(t *Tech) { t.RVT.Alpha = 0.5 }),
+		mod(func(t *Tech) { t.RVT.Alpha = 2.5 }),
+	}
+	for i, b := range bads {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: bad tech validated", i)
+		}
+	}
+}
+
+func TestLeakageMonotoneInVDD(t *testing.T) {
+	tech := Tech45SOI()
+	if err := quick.Check(func(a, b uint8) bool {
+		v1 := 0.3 + float64(a%70)/100
+		v2 := 0.3 + float64(b%70)/100
+		if v1 > v2 {
+			v1, v2 = v2, v1
+		}
+		return tech.LeakageCurrent(RVT, v1) <= tech.LeakageCurrent(RVT, v2)+1e-30
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeakageNominalValue(t *testing.T) {
+	tech := Tech45SOI()
+	if got := tech.LeakageCurrent(RVT, tech.VDDNom); got != tech.RVT.IoffNom {
+		t.Errorf("nominal RVT leakage %v, want %v", got, tech.RVT.IoffNom)
+	}
+}
+
+func TestLeakageExponentialSlope(t *testing.T) {
+	tech := Tech45SOI()
+	// 1.5 decades/V means a 0.1 V drop cuts current by 10^0.15.
+	r := tech.LeakageCurrent(RVT, 0.9) / tech.LeakageCurrent(RVT, 1.0)
+	want := math.Pow(10, -0.15)
+	if math.Abs(r-want) > 1e-9 {
+		t.Errorf("0.1V leakage ratio %v, want %v", r, want)
+	}
+}
+
+func TestLeakageFloor(t *testing.T) {
+	tech := Tech45SOI()
+	lo := tech.LeakageCurrent(RVT, -10)
+	if lo <= 0 {
+		t.Fatalf("leakage floor not applied: %v", lo)
+	}
+	if lo > tech.RVT.IoffNom*1e-6*1.0000001 {
+		t.Errorf("leakage at extreme low VDD %v above floor", lo)
+	}
+}
+
+func TestLVTLeakierThanRVT(t *testing.T) {
+	tech := Tech45SOI()
+	for v := 0.4; v <= 1.0; v += 0.1 {
+		if tech.LeakageCurrent(LVT, v) <= tech.LeakageCurrent(RVT, v) {
+			t.Errorf("LVT not leakier at %v V", v)
+		}
+	}
+}
+
+func TestLeakagePower(t *testing.T) {
+	tech := Tech45SOI()
+	if got := tech.LeakagePower(RVT, 0); got != 0 {
+		t.Errorf("zero VDD power %v", got)
+	}
+	want := 1.0 * tech.RVT.IoffNom
+	if got := tech.LeakagePower(RVT, 1.0); math.Abs(got-want) > 1e-18 {
+		t.Errorf("nominal power %v, want %v", got, want)
+	}
+}
+
+func TestDelayFactorNominalIsOne(t *testing.T) {
+	tech := Tech45SOI()
+	if got := tech.DelayFactor(RVT, tech.VDDNom); math.Abs(got-1) > 1e-12 {
+		t.Errorf("nominal delay factor %v", got)
+	}
+}
+
+func TestDelayFactorMonotoneDecreasingInVDD(t *testing.T) {
+	tech := Tech45SOI()
+	prev := math.Inf(1)
+	for v := 0.45; v <= 1.2; v += 0.01 {
+		f := tech.DelayFactor(RVT, v)
+		if f > prev {
+			t.Fatalf("delay factor not decreasing at %v V: %v > %v", v, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestDelayFactorInfiniteBelowVth(t *testing.T) {
+	tech := Tech45SOI()
+	if !math.IsInf(tech.DelayFactor(RVT, tech.RVT.Vth), 1) {
+		t.Error("delay at Vth should be +Inf")
+	}
+	if !math.IsInf(tech.DelayFactor(RVT, 0.1), 1) {
+		t.Error("delay below Vth should be +Inf")
+	}
+}
+
+func TestDynamicEnergyFactor(t *testing.T) {
+	tech := Tech45SOI()
+	if got := tech.DynamicEnergyFactor(1.0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("nominal dyn factor %v", got)
+	}
+	if got := tech.DynamicEnergyFactor(0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("half-VDD dyn factor %v, want 0.25", got)
+	}
+}
+
+func TestClassAccessor(t *testing.T) {
+	tech := Tech45SOI()
+	if tech.Class(RVT).Name != "RVT" || tech.Class(LVT).Name != "LVT" {
+		t.Error("Class accessor mismatch")
+	}
+	if RVT.String() != "RVT" || LVT.String() != "LVT" {
+		t.Error("String mismatch")
+	}
+	if ThresholdClass(9).String() == "" {
+		t.Error("unknown class String empty")
+	}
+}

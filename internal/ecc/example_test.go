@@ -1,0 +1,17 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+)
+
+// Example demonstrates the SECDED codec correcting a single-bit upset in
+// a 2-byte cache subblock.
+func Example() {
+	cw := ecc.Encode(0xBEEF)
+	corrupted := cw.FlipBit(7)
+	data, status, pos := ecc.Decode(corrupted)
+	fmt.Printf("recovered %#x (%v, bit %d repaired)\n", data, status, pos)
+	// Output: recovered 0xbeef (corrected, bit 7 repaired)
+}

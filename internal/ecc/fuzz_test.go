@@ -1,0 +1,22 @@
+package ecc
+
+import "testing"
+
+// FuzzDecode ensures Decode never panics and that re-encoding a
+// successfully decoded (OK or Corrected) word reproduces a valid
+// codeword that decodes to the same data.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(Encode(0xBEEF)))
+	f.Fuzz(func(t *testing.T, raw uint32) {
+		cw := Codeword(raw & ((1 << CodeBits) - 1))
+		data, status, _ := Decode(cw)
+		if status == DetectedDouble {
+			return
+		}
+		again, status2, _ := Decode(Encode(data))
+		if status2 != OK || again != data {
+			t.Fatalf("re-encode of %#x unstable: %#x status %v", data, again, status2)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package ecc
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ProtectedBlock stores a cache block's data as SECDED codewords over
+// 2-byte subblocks — the functional realisation of the paper's remark
+// that its mechanism "could be supplemented with related ECC methods for
+// soft/transient fault tolerance": power/capacity scaling disables the
+// hard voltage-induced faults, leaving the full SECDED budget for soft
+// errors, whereas ECC-as-voltage-tolerance (Fig. 3d's SECDED/DECTED
+// rows) spends that budget on hard faults.
+type ProtectedBlock struct {
+	words []Codeword
+}
+
+// NewProtectedBlock encodes a data block (length must be a multiple of
+// 2 bytes) into SECDED codewords.
+func NewProtectedBlock(data []byte) (*ProtectedBlock, error) {
+	if len(data) == 0 || len(data)%2 != 0 {
+		return nil, fmt.Errorf("ecc: block length %d not a positive multiple of 2", len(data))
+	}
+	b := &ProtectedBlock{words: make([]Codeword, len(data)/2)}
+	for i := range b.words {
+		w := uint16(data[2*i]) | uint16(data[2*i+1])<<8
+		b.words[i] = Encode(w)
+	}
+	return b, nil
+}
+
+// Subblocks returns the number of protected subblocks.
+func (b *ProtectedBlock) Subblocks() int { return len(b.words) }
+
+// InjectSoftErrors flips n random codeword bits (with replacement across
+// the block) using the given RNG, modelling transient particle strikes.
+func (b *ProtectedBlock) InjectSoftErrors(rng *stats.RNG, n int) {
+	for i := 0; i < n; i++ {
+		w := rng.Intn(len(b.words))
+		bit := rng.Intn(CodeBits)
+		b.words[w] = b.words[w].FlipBit(bit)
+	}
+}
+
+// ReadResult summarises a protected read.
+type ReadResult struct {
+	// Data is the recovered block contents (valid unless Uncorrectable).
+	Data []byte
+	// Corrected counts subblocks that needed single-bit correction.
+	Corrected int
+	// Uncorrectable counts subblocks with detected-but-uncorrectable
+	// errors; their bytes in Data are unreliable.
+	Uncorrectable int
+}
+
+// Read decodes the whole block, scrubbing single-bit errors in place
+// (as a cache controller's read-scrub would).
+func (b *ProtectedBlock) Read() ReadResult {
+	res := ReadResult{Data: make([]byte, 2*len(b.words))}
+	for i, cw := range b.words {
+		data, status, _ := Decode(cw)
+		switch status {
+		case Corrected:
+			res.Corrected++
+			b.words[i] = Encode(data) // scrub
+		case DetectedDouble:
+			res.Uncorrectable++
+		}
+		res.Data[2*i] = byte(data)
+		res.Data[2*i+1] = byte(data >> 8)
+	}
+	return res
+}

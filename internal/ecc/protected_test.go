@@ -1,0 +1,105 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func blockData() []byte {
+	d := make([]byte, 64)
+	for i := range d {
+		d[i] = byte(i*37 + 5)
+	}
+	return d
+}
+
+func TestProtectedRoundTrip(t *testing.T) {
+	b, err := NewProtectedBlock(blockData())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Subblocks() != 32 {
+		t.Fatalf("%d subblocks", b.Subblocks())
+	}
+	res := b.Read()
+	if res.Corrected != 0 || res.Uncorrectable != 0 {
+		t.Fatalf("clean block reported errors: %+v", res)
+	}
+	if !bytes.Equal(res.Data, blockData()) {
+		t.Fatal("data mismatch")
+	}
+}
+
+func TestProtectedRejectsOddLength(t *testing.T) {
+	if _, err := NewProtectedBlock(make([]byte, 63)); err == nil {
+		t.Error("odd length accepted")
+	}
+	if _, err := NewProtectedBlock(nil); err == nil {
+		t.Error("empty block accepted")
+	}
+}
+
+func TestSingleSoftErrorsCorrected(t *testing.T) {
+	b, _ := NewProtectedBlock(blockData())
+	// One error in each of a few distinct subblocks: all correctable.
+	b.words[0] = b.words[0].FlipBit(3)
+	b.words[7] = b.words[7].FlipBit(21)
+	b.words[31] = b.words[31].FlipBit(0)
+	res := b.Read()
+	if res.Corrected != 3 || res.Uncorrectable != 0 {
+		t.Fatalf("corrections: %+v", res)
+	}
+	if !bytes.Equal(res.Data, blockData()) {
+		t.Fatal("data not recovered")
+	}
+	// Scrubbing: a second read is clean.
+	res2 := b.Read()
+	if res2.Corrected != 0 {
+		t.Fatalf("scrub failed: %+v", res2)
+	}
+}
+
+func TestDoubleSoftErrorDetected(t *testing.T) {
+	b, _ := NewProtectedBlock(blockData())
+	b.words[4] = b.words[4].FlipBit(1).FlipBit(9)
+	res := b.Read()
+	if res.Uncorrectable != 1 {
+		t.Fatalf("double error missed: %+v", res)
+	}
+	// All other subblocks still decode correctly.
+	want := blockData()
+	for i := 0; i < 64; i++ {
+		if i/2 == 4 {
+			continue
+		}
+		if res.Data[i] != want[i] {
+			t.Fatalf("byte %d corrupted", i)
+		}
+	}
+}
+
+func TestInjectSoftErrorsStatistics(t *testing.T) {
+	rng := stats.NewRNG(3)
+	corrected, uncorrectable := 0, 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		b, _ := NewProtectedBlock(blockData())
+		b.InjectSoftErrors(rng, 2)
+		res := b.Read()
+		corrected += res.Corrected
+		uncorrectable += res.Uncorrectable
+	}
+	// Two random flips across 32 subblocks land in the same subblock
+	// ~3% of the time; correction dominates.
+	if corrected == 0 {
+		t.Fatal("no corrections")
+	}
+	if uncorrectable > trials/5 {
+		t.Fatalf("too many uncorrectable: %d/%d", uncorrectable, trials)
+	}
+	if uncorrectable == 0 {
+		t.Log("no double hits in sample (possible but unlikely)")
+	}
+}

@@ -1,0 +1,160 @@
+// Package ecc provides error-correcting-code machinery for the Fig. 3d
+// yield comparison: a real extended-Hamming SECDED codec over the paper's
+// 2-byte (16-bit) subblocks, and analytical yield models for caches
+// protected by SECDED and DECTED at subblock granularity. The paper uses
+// these as fault-tolerance baselines: SECDED tolerates one faulty cell
+// per subblock, DECTED two, and both spend their correction capability on
+// hard voltage-induced faults, losing soft-error protection — one of the
+// paper's arguments for keeping ECC orthogonal to power/capacity scaling.
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// SECDED parameters for 16 data bits: an extended Hamming (22,16) code.
+// Positions 1..21 form a Hamming(21,16) code with parity bits at the
+// power-of-two positions {1,2,4,8,16}; bit 0 of the codeword is the
+// overall parity covering all 21 Hamming positions, upgrading single
+// error correction with double error detection.
+const (
+	// DataBits is the subblock payload width (2 bytes, per Table 1).
+	DataBits = 16
+	// HammingBits is the number of Hamming parity bits.
+	HammingBits = 5
+	// CodeBits is the total codeword width including overall parity.
+	CodeBits = 1 + DataBits + HammingBits // 22
+)
+
+// dataPositions lists the Hamming positions (1..21) that carry data bits,
+// in order: all positions that are not powers of two.
+var dataPositions = func() [DataBits]int {
+	var ps [DataBits]int
+	i := 0
+	for pos := 1; pos <= DataBits+HammingBits; pos++ {
+		if pos&(pos-1) != 0 { // not a power of two
+			ps[i] = pos
+			i++
+		}
+	}
+	return ps
+}()
+
+// Codeword is a 22-bit SECDED codeword stored in the low bits of a
+// uint32. Bit 0 is the overall parity; bits 1..21 are Hamming positions.
+type Codeword uint32
+
+// Encode produces the SECDED codeword for 16 data bits.
+func Encode(data uint16) Codeword {
+	var cw uint32
+	// Place data bits at non-power-of-two Hamming positions.
+	for i, pos := range dataPositions {
+		if data>>(uint(i))&1 == 1 {
+			cw |= 1 << uint(pos)
+		}
+	}
+	// Compute Hamming parity bits: parity bit at position p = 2^k covers
+	// every position whose binary representation has bit k set.
+	for k := 0; k < HammingBits; k++ {
+		p := 1 << uint(k)
+		parity := uint32(0)
+		for pos := 1; pos <= DataBits+HammingBits; pos++ {
+			if pos&p != 0 && pos != p {
+				parity ^= cw >> uint(pos) & 1
+			}
+		}
+		if parity == 1 {
+			cw |= 1 << uint(p)
+		}
+	}
+	// Overall parity over positions 1..21 at bit 0 (even parity).
+	if bits.OnesCount32(cw>>1)&1 == 1 {
+		cw |= 1
+	}
+	return Codeword(cw)
+}
+
+// DecodeStatus classifies the outcome of a decode.
+type DecodeStatus int
+
+const (
+	// OK means the codeword was error-free.
+	OK DecodeStatus = iota
+	// Corrected means a single-bit error was corrected.
+	Corrected
+	// DetectedDouble means a double-bit error was detected but cannot be
+	// corrected; the returned data is unreliable.
+	DetectedDouble
+)
+
+// String implements fmt.Stringer.
+func (s DecodeStatus) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case DetectedDouble:
+		return "double-error"
+	default:
+		return fmt.Sprintf("DecodeStatus(%d)", int(s))
+	}
+}
+
+// Decode checks and (if possible) corrects a received codeword, returning
+// the recovered data, the decode status, and for Corrected results the
+// codeword bit position (0..21) that was repaired.
+func Decode(received Codeword) (data uint16, status DecodeStatus, fixedPos int) {
+	cw := uint32(received)
+	// Syndrome: recompute each Hamming parity including the stored bit.
+	syndrome := 0
+	for k := 0; k < HammingBits; k++ {
+		p := 1 << uint(k)
+		parity := uint32(0)
+		for pos := 1; pos <= DataBits+HammingBits; pos++ {
+			if pos&p != 0 {
+				parity ^= cw >> uint(pos) & 1
+			}
+		}
+		if parity == 1 {
+			syndrome |= p
+		}
+	}
+	overallOK := bits.OnesCount32(cw)&1 == 0
+	fixedPos = -1
+	switch {
+	case syndrome == 0 && overallOK:
+		status = OK
+	case syndrome == 0 && !overallOK:
+		// The overall parity bit itself flipped.
+		cw ^= 1
+		status, fixedPos = Corrected, 0
+	case syndrome != 0 && !overallOK:
+		// Single error at the syndrome position.
+		if syndrome > DataBits+HammingBits {
+			// Syndrome points outside the codeword: multi-bit error.
+			status = DetectedDouble
+			break
+		}
+		cw ^= 1 << uint(syndrome)
+		status, fixedPos = Corrected, syndrome
+	default: // syndrome != 0 && overallOK
+		status = DetectedDouble
+	}
+	for i, pos := range dataPositions {
+		if cw>>uint(pos)&1 == 1 {
+			data |= 1 << uint(i)
+		}
+	}
+	return data, status, fixedPos
+}
+
+// FlipBit returns the codeword with the given bit position (0..21)
+// inverted, for fault-injection tests.
+func (c Codeword) FlipBit(pos int) Codeword {
+	if pos < 0 || pos >= CodeBits {
+		panic(fmt.Sprintf("ecc: bit position %d out of 0..%d", pos, CodeBits-1))
+	}
+	return c ^ Codeword(1<<uint(pos))
+}

@@ -1,0 +1,113 @@
+package ecc
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeCleanRoundTrip(t *testing.T) {
+	if err := quick.Check(func(data uint16) bool {
+		got, status, _ := Decode(Encode(data))
+		return got == data && status == OK
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrectsEverySingleBitError(t *testing.T) {
+	// Exhaustive over all 22 positions for a spread of data values.
+	for _, data := range []uint16{0x0000, 0xFFFF, 0xA5A5, 0x1234, 0x8001, 0x7FFE} {
+		cw := Encode(data)
+		for pos := 0; pos < CodeBits; pos++ {
+			got, status, fixed := Decode(cw.FlipBit(pos))
+			if status != Corrected {
+				t.Fatalf("data %#x flip %d: status %v", data, pos, status)
+			}
+			if got != data {
+				t.Fatalf("data %#x flip %d: decoded %#x", data, pos, got)
+			}
+			if fixed != pos {
+				t.Fatalf("data %#x flip %d: reported fix at %d", data, pos, fixed)
+			}
+		}
+	}
+}
+
+func TestCorrectsSingleBitErrorProperty(t *testing.T) {
+	if err := quick.Check(func(data uint16, posRaw uint8) bool {
+		pos := int(posRaw) % CodeBits
+		got, status, _ := Decode(Encode(data).FlipBit(pos))
+		return got == data && status == Corrected
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsEveryDoubleBitError(t *testing.T) {
+	for _, data := range []uint16{0x0000, 0xFFFF, 0xC3C3, 0x0F0F} {
+		cw := Encode(data)
+		for a := 0; a < CodeBits; a++ {
+			for b := a + 1; b < CodeBits; b++ {
+				_, status, _ := Decode(cw.FlipBit(a).FlipBit(b))
+				if status != DetectedDouble {
+					t.Fatalf("data %#x flips (%d,%d): status %v, want double-error",
+						data, a, b, status)
+				}
+			}
+		}
+	}
+}
+
+func TestCodewordWidth(t *testing.T) {
+	if err := quick.Check(func(data uint16) bool {
+		return uint32(Encode(data))>>CodeBits == 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodewordsHaveEvenOverallParity(t *testing.T) {
+	if err := quick.Check(func(data uint16) bool {
+		return bits.OnesCount32(uint32(Encode(data)))%2 == 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimumDistanceAtLeastFour(t *testing.T) {
+	// SECDED requires Hamming distance >= 4; sample pairs of codewords.
+	datas := []uint16{0, 1, 2, 3, 0xFFFF, 0xAAAA, 0x5555, 0x00FF, 0xFF00, 0x1248}
+	for i, a := range datas {
+		for _, b := range datas[i+1:] {
+			d := bits.OnesCount32(uint32(Encode(a)) ^ uint32(Encode(b)))
+			if d < 4 {
+				t.Fatalf("distance(%#x,%#x) = %d < 4", a, b, d)
+			}
+		}
+	}
+}
+
+func TestFlipBitPanics(t *testing.T) {
+	cw := Encode(0)
+	for _, pos := range []int{-1, CodeBits} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FlipBit(%d) did not panic", pos)
+				}
+			}()
+			cw.FlipBit(pos)
+		}()
+	}
+}
+
+func TestDecodeStatusString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" ||
+		DetectedDouble.String() != "double-error" {
+		t.Error("status strings wrong")
+	}
+	if DecodeStatus(42).String() == "" {
+		t.Error("unknown status String empty")
+	}
+}

@@ -1,0 +1,134 @@
+package ecc
+
+import (
+	"math"
+
+	"repro/internal/faultmodel"
+	"repro/internal/sram"
+)
+
+// Yield models for ECC-protected caches, used in the Fig. 3d comparison.
+// A cache "yields" at a voltage if every subblock of every block remains
+// correctable: <= 1 faulty cell per codeword for SECDED, <= 2 for DECTED.
+// Check bits are stored in the same voltage-scaled array as the data, so
+// they participate in the fault process (codeword width, not data width,
+// enters the binomial).
+
+// DECTED code geometry for 16 data bits: a shortened BCH(31,16) with
+// t = 2 plus an extra detection parity — 10 check bits + 1, 27 total.
+const (
+	// DECTEDCodeBits is the DECTED codeword width for a 16-bit subblock.
+	DECTEDCodeBits = 27
+)
+
+// pAtMostK returns P(X <= k) for X ~ Binomial(n, ber), computed directly
+// (k is tiny here).
+func pAtMostK(ber float64, n, k int) float64 {
+	if ber <= 0 {
+		return 1
+	}
+	if ber >= 1 {
+		if k >= n {
+			return 1
+		}
+		return 0
+	}
+	sum := 0.0
+	logB := math.Log(ber)
+	log1B := math.Log1p(-ber)
+	for i := 0; i <= k; i++ {
+		logC := lnChoose(n, i)
+		sum += math.Exp(logC + float64(i)*logB + float64(n-i)*log1B)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// lnChoose returns ln(n choose k).
+func lnChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}
+
+// YieldModel computes cache yield at a voltage for an ECC scheme applied
+// at subblock granularity.
+type YieldModel struct {
+	// BER is the per-bit fault model.
+	BER sram.BERModel
+	// Geom is the cache geometry (data bits per block, sets, ways).
+	Geom faultmodel.Geometry
+	// SubblockDataBits is the protected payload width (16 in the paper).
+	SubblockDataBits int
+	// CodewordBits is the stored codeword width including check bits.
+	CodewordBits int
+	// CorrectableBits is how many faulty cells per codeword the scheme
+	// tolerates (0 = no protection, 1 = SECDED, 2 = DECTED).
+	CorrectableBits int
+}
+
+// NewConventional returns the yield model of a cache with no fault
+// tolerance: any faulty cell anywhere kills the cache at that voltage.
+func NewConventional(ber sram.BERModel, geom faultmodel.Geometry) YieldModel {
+	return YieldModel{BER: ber, Geom: geom,
+		SubblockDataBits: DataBits, CodewordBits: DataBits, CorrectableBits: 0}
+}
+
+// NewSECDED returns the yield model of a SECDED-per-subblock cache.
+func NewSECDED(ber sram.BERModel, geom faultmodel.Geometry) YieldModel {
+	return YieldModel{BER: ber, Geom: geom,
+		SubblockDataBits: DataBits, CodewordBits: CodeBits, CorrectableBits: 1}
+}
+
+// NewDECTED returns the yield model of a DECTED-per-subblock cache.
+func NewDECTED(ber sram.BERModel, geom faultmodel.Geometry) YieldModel {
+	return YieldModel{BER: ber, Geom: geom,
+		SubblockDataBits: DataBits, CodewordBits: DECTEDCodeBits, CorrectableBits: 2}
+}
+
+// SubblocksPerBlock returns the number of protected subblocks per block.
+func (y YieldModel) SubblocksPerBlock() int {
+	return y.Geom.BlockBits / y.SubblockDataBits
+}
+
+// PSubblockOK returns the probability that one codeword stays
+// correctable at the given voltage.
+func (y YieldModel) PSubblockOK(vdd float64) float64 {
+	ber := y.BER.BER(vdd)
+	return pAtMostK(ber, y.CodewordBits, y.CorrectableBits)
+}
+
+// Yield returns the probability that every subblock of every block in
+// the cache remains correctable at the given voltage.
+func (y YieldModel) Yield(vdd float64) float64 {
+	pOK := y.PSubblockOK(vdd)
+	if pOK <= 0 {
+		return 0
+	}
+	n := float64(y.Geom.Blocks() * y.SubblocksPerBlock())
+	return math.Exp(n * math.Log(pOK))
+}
+
+// MinVDD returns the lowest grid voltage in [lo, hi] with yield at least
+// the target, or ok=false if none qualifies.
+func (y YieldModel) MinVDD(target, lo, hi float64) (vdd float64, ok bool) {
+	for _, v := range faultmodel.Grid(lo, hi) {
+		if y.Yield(v) >= target {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// StorageOverhead returns the fraction of extra bits the scheme stores
+// relative to unprotected data (e.g. 6/16 for SECDED over 2-byte
+// subblocks).
+func (y YieldModel) StorageOverhead() float64 {
+	return float64(y.CodewordBits-y.SubblockDataBits) / float64(y.SubblockDataBits)
+}

@@ -1,0 +1,168 @@
+package ecc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faultmodel"
+	"repro/internal/sram"
+)
+
+func testGeom() faultmodel.Geometry {
+	return faultmodel.Geometry{Sets: 256, Ways: 4, BlockBits: 512}
+}
+
+func models(t *testing.T) (conv, sec, dec YieldModel) {
+	t.Helper()
+	ber := sram.NewWangCalhounBER()
+	g := testGeom()
+	return NewConventional(ber, g), NewSECDED(ber, g), NewDECTED(ber, g)
+}
+
+func TestYieldOrdering(t *testing.T) {
+	// At every voltage: conventional <= SECDED <= DECTED, the Fig. 3d
+	// stacking.
+	conv, sec, dec := models(t)
+	for _, v := range faultmodel.Grid(0.30, 1.00) {
+		yc, ys, yd := conv.Yield(v), sec.Yield(v), dec.Yield(v)
+		if yc > ys+1e-12 || ys > yd+1e-12 {
+			t.Fatalf("yield ordering violated at %v V: conv=%v sec=%v dec=%v", v, yc, ys, yd)
+		}
+	}
+}
+
+func TestYieldMonotoneInVoltage(t *testing.T) {
+	_, sec, _ := models(t)
+	prev := 0.0
+	for _, v := range faultmodel.Grid(0.30, 1.00) {
+		y := sec.Yield(v)
+		if y < prev-1e-12 {
+			t.Fatalf("SECDED yield decreased with voltage at %v", v)
+		}
+		prev = y
+	}
+}
+
+func TestYieldBounds(t *testing.T) {
+	conv, sec, dec := models(t)
+	for _, m := range []YieldModel{conv, sec, dec} {
+		for _, v := range []float64{0.3, 0.5, 0.7, 1.0} {
+			if y := m.Yield(v); y < 0 || y > 1 {
+				t.Fatalf("yield %v out of range at %v V", y, v)
+			}
+		}
+	}
+}
+
+func TestMinVDDOrderingMatchesFig3d(t *testing.T) {
+	// Fig. 3d: conventional needs the highest voltage; SECDED improves on
+	// it; DECTED improves further.
+	conv, sec, dec := models(t)
+	vc, ok1 := conv.MinVDD(0.99, 0.30, 1.00)
+	vs, ok2 := sec.MinVDD(0.99, 0.30, 1.00)
+	vd, ok3 := dec.MinVDD(0.99, 0.30, 1.00)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("min VDD not found")
+	}
+	if !(vd <= vs && vs <= vc) {
+		t.Fatalf("min VDD ordering: conv=%v sec=%v dec=%v", vc, vs, vd)
+	}
+	if vc-vs < 0.05 {
+		t.Errorf("SECDED gains only %v V over conventional", vc-vs)
+	}
+}
+
+func TestProposedBeatsSECDED(t *testing.T) {
+	// The paper: "it did better than SECDED in all cache configurations";
+	// DECTED can be slightly better at low associativity.
+	ber := sram.NewWangCalhounBER()
+	for _, g := range []faultmodel.Geometry{
+		{Sets: 256, Ways: 4, BlockBits: 512},
+		{Sets: 4096, Ways: 8, BlockBits: 512},
+		{Sets: 512, Ways: 8, BlockBits: 512},
+		{Sets: 8192, Ways: 16, BlockBits: 512},
+	} {
+		fm, err := faultmodel.New(g, ber)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vProp, ok1 := fm.MinVDDForYield(0.99, 0.30, 1.00)
+		vSec, ok2 := NewSECDED(ber, g).MinVDD(0.99, 0.30, 1.00)
+		if !ok1 || !ok2 {
+			t.Fatal("min VDD not found")
+		}
+		if vProp > vSec {
+			t.Errorf("geometry %+v: proposed min VDD %v above SECDED %v", g, vProp, vSec)
+		}
+	}
+}
+
+func TestDECTEDBeatsProposedAtLowAssociativity(t *testing.T) {
+	// Fig. 3d note: "DECTED achieved slightly better min-VDD than the
+	// proposed mechanism due to low associativity".
+	ber := sram.NewWangCalhounBER()
+	g := faultmodel.Geometry{Sets: 256, Ways: 4, BlockBits: 512}
+	fm, _ := faultmodel.New(g, ber)
+	vProp, _ := fm.MinVDDForYield(0.99, 0.30, 1.00)
+	vDec, _ := NewDECTED(ber, g).MinVDD(0.99, 0.30, 1.00)
+	if vDec > vProp {
+		t.Errorf("DECTED %v not better than proposed %v at 4-way", vDec, vProp)
+	}
+}
+
+func TestPSubblockOK(t *testing.T) {
+	_, sec, _ := models(t)
+	// At very high voltage essentially every subblock is fine.
+	if p := sec.PSubblockOK(1.0); p < 0.999999 {
+		t.Errorf("nominal subblock OK prob %v", p)
+	}
+	// Probability decreases with voltage.
+	if sec.PSubblockOK(0.4) >= sec.PSubblockOK(0.7) {
+		t.Error("subblock OK prob not decreasing")
+	}
+}
+
+func TestSubblocksPerBlock(t *testing.T) {
+	_, sec, _ := models(t)
+	if got := sec.SubblocksPerBlock(); got != 32 {
+		t.Errorf("subblocks per 64B block = %d, want 32", got)
+	}
+}
+
+func TestStorageOverhead(t *testing.T) {
+	conv, sec, dec := models(t)
+	if got := conv.StorageOverhead(); got != 0 {
+		t.Errorf("conventional overhead %v", got)
+	}
+	if got := sec.StorageOverhead(); math.Abs(got-6.0/16) > 1e-12 {
+		t.Errorf("SECDED overhead %v, want 0.375", got)
+	}
+	if got := dec.StorageOverhead(); math.Abs(got-11.0/16) > 1e-12 {
+		t.Errorf("DECTED overhead %v", got)
+	}
+}
+
+func TestPAtMostKEdges(t *testing.T) {
+	if got := pAtMostK(0, 22, 1); got != 1 {
+		t.Errorf("zero BER: %v", got)
+	}
+	if got := pAtMostK(1, 22, 1); got != 0 {
+		t.Errorf("certain faults, k<n: %v", got)
+	}
+	if got := pAtMostK(1, 22, 22); got != 1 {
+		t.Errorf("certain faults, k=n: %v", got)
+	}
+	// Against a direct binomial sum for moderate parameters.
+	ber := 0.01
+	direct := 0.0
+	for k := 0; k <= 1; k++ {
+		c := 1.0
+		if k == 1 {
+			c = 22
+		}
+		direct += c * math.Pow(ber, float64(k)) * math.Pow(1-ber, float64(22-k))
+	}
+	if got := pAtMostK(ber, 22, 1); math.Abs(got-direct) > 1e-12 {
+		t.Errorf("pAtMostK = %v, want %v", got, direct)
+	}
+}

@@ -1,0 +1,82 @@
+package expers
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpusim"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+// AblationRow records one policy variant's outcome on one workload.
+type AblationRow struct {
+	Variant   string
+	Workload  string
+	SavingPct float64
+	OverhdPct float64
+	L2Trans   int
+}
+
+// AblationVariants enumerates the DPCS damping refinements of DESIGN.md
+// §6 with exactly one disabled at a time, plus the full policy and the
+// bare Listing-1 policy with everything off.
+func AblationVariants() []struct {
+	Name  string
+	Flags core.AblationFlags
+} {
+	return []struct {
+		Name  string
+		Flags core.AblationFlags
+	}{
+		{"full policy", core.AblationFlags{}},
+		{"-hold latch", core.AblationFlags{NoHoldLatch: true}},
+		{"-bad-level memory", core.AblationFlags{NoBadLevelMemory: true}},
+		{"-refill classification", core.AblationFlags{NoRefillClassification: true}},
+		{"-skip reset", core.AblationFlags{NoSkipReset: true}},
+		{"bare Listing 1", core.AblationFlags{
+			NoHoldLatch: true, NoBadLevelMemory: true,
+			NoRefillClassification: true, NoSkipReset: true,
+		}},
+	}
+}
+
+// Ablation runs each policy variant on the given workloads under Config
+// A, reporting the energy saving and execution overhead — the ablation
+// study for the design choices DESIGN.md §6 documents.
+func Ablation(workloads []string, opts cpusim.RunOptions) ([]AblationRow, *report.Table, error) {
+	var rows []AblationRow
+	t := report.NewTable("DPCS policy ablation (Config A)",
+		"Variant", "Workload", "Energy saving %", "Exec overhead %", "L2 transitions")
+	for _, name := range workloads {
+		w, ok := trace.ByName(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("expers: unknown workload %q", name)
+		}
+		base, err := cpusim.Run(cpusim.ConfigA(), core.Baseline, w, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, v := range AblationVariants() {
+			cfg := cpusim.ConfigA()
+			cfg.Ablate = v.Flags
+			r, err := cpusim.Run(cfg, core.DPCS, w, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			row := AblationRow{
+				Variant:   v.Name,
+				Workload:  name,
+				SavingPct: (1 - r.TotalCacheEnergyJ/base.TotalCacheEnergyJ) * 100,
+				OverhdPct: (float64(r.Cycles)/float64(base.Cycles) - 1) * 100,
+				L2Trans:   r.L2.Transitions,
+			}
+			rows = append(rows, row)
+			t.AddRow(v.Name, name,
+				fmt.Sprintf("%.1f", row.SavingPct),
+				fmt.Sprintf("%.2f", row.OverhdPct),
+				row.L2Trans)
+		}
+	}
+	return rows, t, nil
+}

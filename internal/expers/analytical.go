@@ -1,0 +1,451 @@
+// Package expers implements one function per paper table/figure, shared
+// by the cmd harnesses, the examples and the root benchmark suite. Each
+// function returns structured data plus a ready-to-print report.Table so
+// the same code regenerates the paper's rows/series everywhere.
+package expers
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cacti"
+	"repro/internal/device"
+	"repro/internal/ecc"
+	"repro/internal/faultmodel"
+	"repro/internal/fftcache"
+	"repro/internal/report"
+	"repro/internal/sram"
+	"repro/internal/waygate"
+)
+
+// Analytical voltage sweep range (V): the studied window of the paper.
+const (
+	VLo = 0.30
+	VHi = 1.00
+)
+
+// CacheSetup bundles the models for one cache organisation.
+type CacheSetup struct {
+	Org   cacti.Org
+	Tech  device.Tech
+	CM    *cacti.Model // baseline (no PCS overheads)
+	CMPCS *cacti.Model // with fault map + power gates
+	BER   sram.BERModel
+	FM    *faultmodel.Model
+}
+
+// NewCacheSetup builds the model stack for an organisation, using
+// nLevels allowed VDD levels for fault-map sizing (3 in the paper).
+func NewCacheSetup(org cacti.Org, nLevels int) (*CacheSetup, error) {
+	tech := device.Tech45SOI()
+	cm, err := cacti.New(org, tech, cacti.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	ber := sram.NewWangCalhounBER()
+	geom := faultmodel.Geometry{
+		Sets:      org.Sets(),
+		Ways:      org.Assoc,
+		BlockBits: org.BlockBits(),
+	}
+	fm, err := faultmodel.New(geom, ber)
+	if err != nil {
+		return nil, err
+	}
+	fmBits := 0
+	for 1<<fmBits < nLevels+1 {
+		fmBits++
+	}
+	return &CacheSetup{
+		Org:   org,
+		Tech:  tech,
+		CM:    cm,
+		CMPCS: cm.WithPCS(fmBits),
+		BER:   ber,
+		FM:    fm,
+	}, nil
+}
+
+// L1ConfigA returns the paper's Fig. 3 subject: the Config A L1 cache.
+func L1ConfigA() cacti.Org {
+	return cacti.Org{Name: "L1-A", SizeBytes: 64 << 10, Assoc: 4, BlockBytes: 64, AddrBits: 40}
+}
+
+// L2ConfigA returns the Config A L2 organisation.
+func L2ConfigA() cacti.Org {
+	return cacti.Org{Name: "L2-A", SizeBytes: 2 << 20, Assoc: 8, BlockBytes: 64, AddrBits: 40, SerialTagData: true}
+}
+
+// L1ConfigB and L2ConfigB return the Config B organisations.
+func L1ConfigB() cacti.Org {
+	return cacti.Org{Name: "L1-B", SizeBytes: 256 << 10, Assoc: 8, BlockBytes: 64, AddrBits: 40}
+}
+
+// L2ConfigB returns the Config B L2 organisation.
+func L2ConfigB() cacti.Org {
+	return cacti.Org{Name: "L2-B", SizeBytes: 8 << 20, Assoc: 16, BlockBytes: 64, AddrBits: 40, SerialTagData: true}
+}
+
+// AllOrgs returns the four cache organisations of Table 2.
+func AllOrgs() []cacti.Org {
+	return []cacti.Org{L1ConfigA(), L2ConfigA(), L1ConfigB(), L2ConfigB()}
+}
+
+// --- FIG2: SRAM bit error rate vs VDD ---
+
+// Fig2Point is one sample of the BER curve.
+type Fig2Point struct {
+	VDD float64
+	BER float64
+}
+
+// Fig2 regenerates the paper's Fig. 2: BER versus VDD at 10 mV steps.
+func Fig2() ([]Fig2Point, *report.Table) {
+	ber := sram.NewWangCalhounBER()
+	var pts []Fig2Point
+	t := report.NewTable("Fig. 2 — SRAM bit error rate vs VDD (Wang–Calhoun-style model)",
+		"VDD (V)", "BER")
+	for _, v := range faultmodel.Grid(VLo, VHi) {
+		p := Fig2Point{VDD: v, BER: ber.BER(v)}
+		pts = append(pts, p)
+		t.AddRow(fmt.Sprintf("%.2f", v), fmt.Sprintf("%.3e", p.BER))
+	}
+	return pts, t
+}
+
+// --- FIG3A: total static power vs effective capacity ---
+
+// Fig3aPoint is one (capacity, power) sample of one scheme.
+type Fig3aPoint struct {
+	VDD      float64 // 0 for way gating (always nominal)
+	Capacity float64
+	PowerW   float64
+}
+
+// Fig3aData holds the three schemes' curves.
+type Fig3aData struct {
+	Proposed []Fig3aPoint
+	FFTCache []Fig3aPoint
+	WayGate  []Fig3aPoint
+}
+
+// Fig3a regenerates Fig. 3's power/effective-capacity comparison for the
+// given organisation (the paper shows L1 Config A; others behave alike).
+// nLowVDDs configures how many low-voltage levels FFT-Cache must carry
+// fault maps for (2 reproduces the paper's 3-level comparison).
+func Fig3a(org cacti.Org, nLowVDDs int) (Fig3aData, *report.Table, error) {
+	cs, err := NewCacheSetup(org, nLowVDDs+1)
+	if err != nil {
+		return Fig3aData{}, nil, err
+	}
+	fft := fftcache.New(cs.FM.Geom, cs.BER, fftcache.DefaultParams(), nLowVDDs)
+	wg := waygate.New(cs.CM)
+
+	var d Fig3aData
+	for _, v := range faultmodel.Grid(VLo, VHi) {
+		capP := cs.FM.ExpectedCapacity(v)
+		pw := cs.CMPCS.StaticPower(v, capP).TotalW
+		d.Proposed = append(d.Proposed, Fig3aPoint{VDD: v, Capacity: capP, PowerW: pw})
+		capF := fft.EffectiveCapacity(v)
+		d.FFTCache = append(d.FFTCache, Fig3aPoint{VDD: v, Capacity: capF, PowerW: fft.StaticPower(cs.CM, v)})
+	}
+	caps, watts := wg.PowerCapacityCurve()
+	for i := range caps {
+		d.WayGate = append(d.WayGate, Fig3aPoint{Capacity: caps[i], PowerW: watts[i]})
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Fig. 3a — static power vs effective capacity (%s)", org.Name),
+		"VDD (V)", "Proposed cap", "Proposed mW", "FFT cap", "FFT mW")
+	for i, p := range d.Proposed {
+		f := d.FFTCache[i]
+		t.AddRow(fmt.Sprintf("%.2f", p.VDD),
+			fmt.Sprintf("%.4f", p.Capacity), fmt.Sprintf("%.3f", p.PowerW*1e3),
+			fmt.Sprintf("%.4f", f.Capacity), fmt.Sprintf("%.3f", f.PowerW*1e3))
+	}
+	return d, t, nil
+}
+
+// PowerAtCapacity interpolates a scheme's static power at a target
+// effective capacity from its (capacity, power) curve. Curves are
+// monotone in voltage; we scan for the bracketing pair.
+func PowerAtCapacity(curve []Fig3aPoint, target float64) (float64, bool) {
+	best := math.Inf(1)
+	found := false
+	// Among all curve segments crossing the target capacity, take the
+	// lowest interpolated power (schemes may hit a capacity at several
+	// voltages; the operating point of interest is the cheapest).
+	for i := 1; i < len(curve); i++ {
+		a, b := curve[i-1], curve[i]
+		lo, hi := a.Capacity, b.Capacity
+		if (lo-target)*(hi-target) > 0 {
+			continue
+		}
+		var p float64
+		if hi == lo {
+			p = math.Min(a.PowerW, b.PowerW)
+		} else {
+			f := (target - lo) / (hi - lo)
+			p = a.PowerW + f*(b.PowerW-a.PowerW)
+		}
+		if p < best {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Fig3aGapAt99 returns the proposed scheme's static-power advantage over
+// FFT-Cache at the 99 % effective capacity point (the paper: 28.2 % with
+// three VDD levels, 17.8 % with two).
+func Fig3aGapAt99(org cacti.Org, nLowVDDs int) (gapFrac float64, err error) {
+	d, _, err := Fig3a(org, nLowVDDs)
+	if err != nil {
+		return 0, err
+	}
+	pp, ok1 := PowerAtCapacity(d.Proposed, 0.99)
+	pf, ok2 := PowerAtCapacity(d.FFTCache, 0.99)
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("expers: 99%% capacity point not on curve")
+	}
+	return 1 - pp/pf, nil
+}
+
+// --- FIG3B: proportion of usable blocks vs VDD ---
+
+// Fig3bRow is one voltage sample of the capacity comparison.
+type Fig3bRow struct {
+	VDD      float64
+	Proposed float64
+	FFTCache float64
+}
+
+// Fig3b regenerates the usable-blocks comparison of Fig. 3.
+func Fig3b(org cacti.Org) ([]Fig3bRow, *report.Table, error) {
+	cs, err := NewCacheSetup(org, 3)
+	if err != nil {
+		return nil, nil, err
+	}
+	fft := fftcache.New(cs.FM.Geom, cs.BER, fftcache.DefaultParams(), 2)
+	var rows []Fig3bRow
+	t := report.NewTable(
+		fmt.Sprintf("Fig. 3b — proportion of usable blocks vs VDD (%s)", org.Name),
+		"VDD (V)", "Proposed", "FFT-Cache")
+	for _, v := range faultmodel.Grid(VLo, VHi) {
+		r := Fig3bRow{VDD: v, Proposed: cs.FM.ExpectedCapacity(v), FFTCache: fft.EffectiveCapacity(v)}
+		rows = append(rows, r)
+		t.AddRow(fmt.Sprintf("%.2f", v), fmt.Sprintf("%.4f", r.Proposed), fmt.Sprintf("%.4f", r.FFTCache))
+	}
+	return rows, t, nil
+}
+
+// --- FIG3C: leakage breakdown vs VDD ---
+
+// Fig3cRow is one voltage sample of the leakage decomposition.
+type Fig3cRow struct {
+	VDD             float64
+	DataNoPeriphW   float64 // data array cells only
+	DataWithPeriphW float64 // data cells + data periphery
+	TagW            float64
+	TotalW          float64
+}
+
+// Fig3c regenerates the leakage breakdown of Fig. 3 for the proposed
+// mechanism (faulty blocks gated as capacity shrinks).
+func Fig3c(org cacti.Org) ([]Fig3cRow, *report.Table, error) {
+	cs, err := NewCacheSetup(org, 3)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []Fig3cRow
+	t := report.NewTable(
+		fmt.Sprintf("Fig. 3c — leakage breakdown vs VDD (%s)", org.Name),
+		"VDD (V)", "Data (no periph) mW", "Data mW", "Tag mW", "Total mW")
+	for _, v := range faultmodel.Grid(VLo, VHi) {
+		capP := cs.FM.ExpectedCapacity(v)
+		p := cs.CMPCS.StaticPower(v, capP)
+		r := Fig3cRow{
+			VDD:             v,
+			DataNoPeriphW:   p.DataCellsW,
+			DataWithPeriphW: p.DataCellsW + p.DataPeripheryW,
+			TagW:            p.TagW,
+			TotalW:          p.TotalW,
+		}
+		rows = append(rows, r)
+		t.AddRow(fmt.Sprintf("%.2f", v),
+			fmt.Sprintf("%.3f", r.DataNoPeriphW*1e3),
+			fmt.Sprintf("%.3f", r.DataWithPeriphW*1e3),
+			fmt.Sprintf("%.3f", r.TagW*1e3),
+			fmt.Sprintf("%.3f", r.TotalW*1e3))
+	}
+	return rows, t, nil
+}
+
+// --- FIG3D: yield vs VDD across schemes ---
+
+// Fig3dRow is one voltage sample of the yield comparison.
+type Fig3dRow struct {
+	VDD          float64
+	Conventional float64
+	SECDED       float64
+	DECTED       float64
+	FFTCache     float64
+	Proposed     float64
+}
+
+// Fig3d regenerates the yield-vs-VDD comparison of Fig. 3: a baseline
+// with no fault tolerance, SECDED and DECTED at 2-byte subblocks,
+// FFT-Cache, and the proposed mechanism.
+func Fig3d(org cacti.Org) ([]Fig3dRow, *report.Table, error) {
+	cs, err := NewCacheSetup(org, 3)
+	if err != nil {
+		return nil, nil, err
+	}
+	conv := ecc.NewConventional(cs.BER, cs.FM.Geom)
+	sec := ecc.NewSECDED(cs.BER, cs.FM.Geom)
+	dec := ecc.NewDECTED(cs.BER, cs.FM.Geom)
+	fft := fftcache.New(cs.FM.Geom, cs.BER, fftcache.DefaultParams(), 2)
+
+	var rows []Fig3dRow
+	t := report.NewTable(
+		fmt.Sprintf("Fig. 3d — yield vs VDD (%s)", org.Name),
+		"VDD (V)", "Conventional", "SECDED", "DECTED", "FFT-Cache", "Proposed")
+	for _, v := range faultmodel.Grid(VLo, VHi) {
+		r := Fig3dRow{
+			VDD:          v,
+			Conventional: conv.Yield(v),
+			SECDED:       sec.Yield(v),
+			DECTED:       dec.Yield(v),
+			FFTCache:     fft.Yield(v),
+			Proposed:     cs.FM.Yield(v),
+		}
+		rows = append(rows, r)
+		t.AddRow(fmt.Sprintf("%.2f", v),
+			fmt.Sprintf("%.4f", r.Conventional), fmt.Sprintf("%.4f", r.SECDED),
+			fmt.Sprintf("%.4f", r.DECTED), fmt.Sprintf("%.4f", r.FFTCache),
+			fmt.Sprintf("%.4f", r.Proposed))
+	}
+	return rows, t, nil
+}
+
+// MinVDDRow summarises each scheme's min-VDD at 99 % yield for one org.
+type MinVDDRow struct {
+	Scheme string
+	MinVDD float64
+	OK     bool
+}
+
+// MinVDDs computes each scheme's minimum voltage at 99 % yield.
+func MinVDDs(org cacti.Org) ([]MinVDDRow, *report.Table, error) {
+	cs, err := NewCacheSetup(org, 3)
+	if err != nil {
+		return nil, nil, err
+	}
+	conv := ecc.NewConventional(cs.BER, cs.FM.Geom)
+	sec := ecc.NewSECDED(cs.BER, cs.FM.Geom)
+	dec := ecc.NewDECTED(cs.BER, cs.FM.Geom)
+	fft := fftcache.New(cs.FM.Geom, cs.BER, fftcache.DefaultParams(), 2)
+
+	rows := []MinVDDRow{}
+	add := func(name string, v float64, ok bool) {
+		rows = append(rows, MinVDDRow{Scheme: name, MinVDD: v, OK: ok})
+	}
+	v, ok := conv.MinVDD(0.99, VLo, VHi)
+	add("Conventional", v, ok)
+	v, ok = sec.MinVDD(0.99, VLo, VHi)
+	add("SECDED", v, ok)
+	v, ok = dec.MinVDD(0.99, VLo, VHi)
+	add("DECTED", v, ok)
+	v, ok = fft.MinVDDForYield(0.99, VLo, VHi)
+	add("FFT-Cache", v, ok)
+	v, ok = cs.FM.MinVDDForYield(0.99, VLo, VHi)
+	add("Proposed", v, ok)
+
+	t := report.NewTable(fmt.Sprintf("Min-VDD at 99%% yield (%s)", org.Name), "Scheme", "Min VDD (V)")
+	for _, r := range rows {
+		cell := "n/a"
+		if r.OK {
+			cell = fmt.Sprintf("%.2f", r.MinVDD)
+		}
+		t.AddRow(r.Scheme, cell)
+	}
+	return rows, t, nil
+}
+
+// --- TAB-AREA: area overheads ---
+
+// AreaRow reports one organisation's PCS area overhead.
+type AreaRow struct {
+	Org              string
+	BaselineMM2      float64
+	FaultMapMM2      float64
+	PowerGateMM2     float64
+	OverheadFraction float64
+}
+
+// AreaOverheads regenerates the Sec. 4.2 area-overhead estimates for all
+// four cache organisations (paper: 2–5 % total, fault map ≤ 4 %,
+// gates < 1 %).
+func AreaOverheads() ([]AreaRow, *report.Table, error) {
+	var rows []AreaRow
+	t := report.NewTable("Area overheads of the PCS mechanism (Sec. 4.2)",
+		"Cache", "Baseline mm²", "Fault map mm²", "Power gates mm²", "Overhead %")
+	for _, org := range AllOrgs() {
+		cs, err := NewCacheSetup(org, 3)
+		if err != nil {
+			return nil, nil, err
+		}
+		a := cs.CMPCS.Area()
+		r := AreaRow{
+			Org:              org.Name,
+			BaselineMM2:      a.DataMM2 + a.TagMM2,
+			FaultMapMM2:      a.FaultMapMM2,
+			PowerGateMM2:     a.PowerGateMM2,
+			OverheadFraction: a.OverheadFraction(),
+		}
+		rows = append(rows, r)
+		t.AddRow(org.Name, fmt.Sprintf("%.3f", r.BaselineMM2),
+			fmt.Sprintf("%.4f", r.FaultMapMM2), fmt.Sprintf("%.4f", r.PowerGateMM2),
+			fmt.Sprintf("%.2f", r.OverheadFraction*100))
+	}
+	return rows, t, nil
+}
+
+// --- TAB-MINVDD: the design-time voltage plan ---
+
+// VDDPlanRow is the computed voltage plan for one cache.
+type VDDPlanRow struct {
+	Org                  string
+	VDD1, VDD2, VDD3     float64
+	CapacityAtVDD1       float64
+	DelayDegradationVDD1 float64
+}
+
+// VDDPlans computes the three-level voltage plan for all organisations
+// (the reproduction of Table 2's voltage rows via the paper's 99 % rule).
+func VDDPlans() ([]VDDPlanRow, *report.Table, error) {
+	var rows []VDDPlanRow
+	t := report.NewTable("Computed VDD levels (99% capacity VDD2, 99% yield VDD1)",
+		"Cache", "VDD1 (V)", "VDD2 (V)", "VDD3 (V)", "Capacity@VDD1", "Delay@VDD1 (+%)")
+	for _, org := range AllOrgs() {
+		cs, err := NewCacheSetup(org, 3)
+		if err != nil {
+			return nil, nil, err
+		}
+		capFloor := faultmodel.VDD1CapacityFloor(org.Assoc)
+		v1, v2, v3, err := cs.FM.VDDLevels(cs.Tech.VDDNom, cs.Tech.VDDMin, capFloor)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := VDDPlanRow{
+			Org: org.Name, VDD1: v1, VDD2: v2, VDD3: v3,
+			CapacityAtVDD1:       cs.FM.ExpectedCapacity(v1),
+			DelayDegradationVDD1: cs.CMPCS.DelayDegradation(v1),
+		}
+		rows = append(rows, r)
+		t.AddRow(org.Name, fmt.Sprintf("%.2f", v1), fmt.Sprintf("%.2f", v2), fmt.Sprintf("%.2f", v3),
+			fmt.Sprintf("%.4f", r.CapacityAtVDD1), fmt.Sprintf("%.1f", r.DelayDegradationVDD1*100))
+	}
+	return rows, t, nil
+}

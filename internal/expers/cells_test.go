@@ -1,0 +1,51 @@
+package expers
+
+import (
+	"testing"
+
+	"repro/internal/sram"
+)
+
+func TestCellComparison(t *testing.T) {
+	rows, tbl, err := CellComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || tbl == nil {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byCell := map[sram.CellType]CellRow{}
+	for _, r := range rows {
+		byCell[r.Cell] = r
+	}
+	r6, r8, r10 := byCell[sram.Cell6T], byCell[sram.Cell8T], byCell[sram.Cell10T]
+
+	// Hardened cells reach lower voltages without fault tolerance.
+	if !(r10.MinVDDNoFT <= r8.MinVDDNoFT && r8.MinVDDNoFT <= r6.MinVDDNoFT) {
+		t.Errorf("no-FT min VDD ordering: %v %v %v",
+			r6.MinVDDNoFT, r8.MinVDDNoFT, r10.MinVDDNoFT)
+	}
+	// The PCS mechanism helps every cell type.
+	for _, r := range rows {
+		if r.MinVDDWithPCS >= r.MinVDDNoFT {
+			t.Errorf("%s: PCS min VDD %v not below no-FT %v",
+				r.Cell, r.MinVDDWithPCS, r.MinVDDNoFT)
+		}
+	}
+	// The paper's Sec. 2 argument: 6T + PCS reaches a voltage comparable
+	// to (within ~100 mV of) a hardened cell without FT, at a fraction of
+	// the area.
+	if r6.MinVDDWithPCS > r10.MinVDDNoFT+0.12 {
+		t.Errorf("6T+PCS %v far above bare 10T %v", r6.MinVDDWithPCS, r10.MinVDDNoFT)
+	}
+	if r6.AreaFactor >= r10.AreaFactor {
+		t.Error("6T not cheaper than 10T")
+	}
+	// Leakage at the SPCS point: the 10T cell's extra transistors cost it.
+	if r10.StaticPowerAtSPCS <= r6.StaticPowerAtSPCS*0.8 {
+		// 10T reaches a lower SPCS voltage but pays 1.6x leakage; it
+		// should not dramatically beat 6T.
+		t.Logf("10T SPCS leak %v vs 6T %v (informational)",
+			r10.StaticPowerAtSPCS, r6.StaticPowerAtSPCS)
+	}
+}

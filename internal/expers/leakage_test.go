@@ -1,0 +1,50 @@
+package expers
+
+import (
+	"testing"
+)
+
+func TestLeakageComparison(t *testing.T) {
+	rows, tbl, err := LeakageComparison(300_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl == nil || len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]LeakageRow{}
+	for _, r := range rows {
+		byName[r.Technique] = r
+	}
+	base := rows[0]
+	if base.LeakEnergyRel != 1 || base.ExtraCyclesPct != 0 {
+		t.Fatalf("baseline row not normalised: %+v", base)
+	}
+	// Every technique saves leakage vs the conventional baseline.
+	for _, r := range rows[1:] {
+		if r.LeakEnergyRel >= 1 {
+			t.Errorf("%s leakage %v not below baseline", r.Technique, r.LeakEnergyRel)
+		}
+	}
+	// SPCS is the only fault-tolerant one and must not lose state.
+	spcs := rows[3]
+	if !spcs.ToleratesFault || spcs.LosesState {
+		t.Errorf("SPCS row flags: %+v", spcs)
+	}
+	// Decay loses state; drowsy does not.
+	if !rows[2].LosesState || rows[1].LosesState {
+		t.Error("state-loss flags wrong")
+	}
+	// SPCS leakage should be competitive with drowsy (within 2x either
+	// way) while adding fault tolerance.
+	if spcs.LeakEnergyRel > 2*rows[1].LeakEnergyRel {
+		t.Errorf("SPCS leakage %v far above drowsy %v",
+			spcs.LeakEnergyRel, rows[1].LeakEnergyRel)
+	}
+	// Overheads stay small for all techniques on this friendly workload.
+	for _, r := range rows {
+		if r.ExtraCyclesPct > 10 {
+			t.Errorf("%s overhead %v%%", r.Technique, r.ExtraCyclesPct)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package expers
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/cpusim"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Fig4Row holds one benchmark's results for all three modes under one
+// system configuration — the raw material of Fig. 4's eight panels.
+type Fig4Row struct {
+	Workload string
+	Baseline cpusim.Result
+	SPCS     cpusim.Result
+	DPCS     cpusim.Result
+}
+
+// ExecOverhead returns a mode's execution-time overhead vs baseline.
+func (r Fig4Row) ExecOverhead(m core.Mode) float64 {
+	base := float64(r.Baseline.Cycles)
+	switch m {
+	case core.SPCS:
+		return float64(r.SPCS.Cycles)/base - 1
+	case core.DPCS:
+		return float64(r.DPCS.Cycles)/base - 1
+	default:
+		return 0
+	}
+}
+
+// EnergySaving returns a mode's total-cache-energy saving vs baseline.
+func (r Fig4Row) EnergySaving(m core.Mode) float64 {
+	switch m {
+	case core.SPCS:
+		return 1 - r.SPCS.TotalCacheEnergyJ/r.Baseline.TotalCacheEnergyJ
+	case core.DPCS:
+		return 1 - r.DPCS.TotalCacheEnergyJ/r.Baseline.TotalCacheEnergyJ
+	default:
+		return 0
+	}
+}
+
+// Fig4Data is the full simulation result set for one configuration.
+type Fig4Data struct {
+	Config string
+	Rows   []Fig4Row
+}
+
+// Fig4 runs the 16-benchmark suite under baseline, SPCS and DPCS for the
+// given configuration. Progress lines go to progress when non-nil.
+func Fig4(cfg cpusim.SystemConfig, opts cpusim.RunOptions, progress io.Writer) (Fig4Data, error) {
+	data := Fig4Data{Config: cfg.Name}
+	for _, w := range trace.Suite() {
+		row := Fig4Row{Workload: w.Name}
+		for _, mode := range []core.Mode{core.Baseline, core.SPCS, core.DPCS} {
+			res, err := cpusim.Run(cfg, mode, w, opts)
+			if err != nil {
+				return Fig4Data{}, fmt.Errorf("expers: %s/%s/%v: %w", cfg.Name, w.Name, mode, err)
+			}
+			switch mode {
+			case core.Baseline:
+				row.Baseline = res
+			case core.SPCS:
+				row.SPCS = res
+			case core.DPCS:
+				row.DPCS = res
+			}
+			if progress != nil {
+				fmt.Fprintf(progress, "  %s\n", res)
+			}
+		}
+		data.Rows = append(data.Rows, row)
+	}
+	return data, nil
+}
+
+// Summary aggregates a configuration's Fig. 4 data into the paper's
+// headline numbers.
+type Summary struct {
+	Config string
+	// Mean total-cache-energy savings vs baseline.
+	MeanSavingSPCS, MeanSavingDPCS float64
+	// Worst-case (max) execution time overheads.
+	MaxOverheadSPCS, MaxOverheadDPCS float64
+	// Mean DPCS energy reduction relative to SPCS.
+	MeanDPCSvsSPCS float64
+}
+
+// Summarise reduces Fig. 4 data to its headline numbers.
+func Summarise(d Fig4Data) Summary {
+	s := Summary{Config: d.Config}
+	var savS, savD, relDS []float64
+	for _, r := range d.Rows {
+		savS = append(savS, r.EnergySaving(core.SPCS))
+		savD = append(savD, r.EnergySaving(core.DPCS))
+		relDS = append(relDS, 1-r.DPCS.TotalCacheEnergyJ/r.SPCS.TotalCacheEnergyJ)
+		if ov := r.ExecOverhead(core.SPCS); ov > s.MaxOverheadSPCS {
+			s.MaxOverheadSPCS = ov
+		}
+		if ov := r.ExecOverhead(core.DPCS); ov > s.MaxOverheadDPCS {
+			s.MaxOverheadDPCS = ov
+		}
+	}
+	s.MeanSavingSPCS = stats.Mean(savS)
+	s.MeanSavingDPCS = stats.Mean(savD)
+	s.MeanDPCSvsSPCS = stats.Mean(relDS)
+	return s
+}
+
+// Fig4PowerTable renders the per-benchmark cache power panels (Fig. 4a–d)
+// for the chosen cache level ("L1" merges L1I+L1D as the paper plots a
+// single L1 bar; "L2" is the unified L2).
+func Fig4PowerTable(d Fig4Data, level string) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Fig. 4 — %s cache power (mW), Config %s", level, d.Config),
+		"Benchmark", "Baseline", "SPCS", "DPCS", "SPCS sav%", "DPCS sav%")
+	pick := func(r cpusim.Result) float64 {
+		if level == "L2" {
+			return r.L2.AvgPowerW
+		}
+		return r.L1I.AvgPowerW + r.L1D.AvgPowerW
+	}
+	for _, row := range d.Rows {
+		b, sp, dp := pick(row.Baseline), pick(row.SPCS), pick(row.DPCS)
+		t.AddRow(row.Workload,
+			fmt.Sprintf("%.2f", b*1e3), fmt.Sprintf("%.2f", sp*1e3), fmt.Sprintf("%.2f", dp*1e3),
+			fmt.Sprintf("%.1f", (1-sp/b)*100), fmt.Sprintf("%.1f", (1-dp/b)*100))
+	}
+	return t
+}
+
+// Fig4OverheadTable renders the execution-time overhead panels (4e–f).
+func Fig4OverheadTable(d Fig4Data) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Fig. 4 — execution time overhead (%%), Config %s", d.Config),
+		"Benchmark", "SPCS %", "DPCS %")
+	for _, row := range d.Rows {
+		t.AddRow(row.Workload,
+			fmt.Sprintf("%.2f", row.ExecOverhead(core.SPCS)*100),
+			fmt.Sprintf("%.2f", row.ExecOverhead(core.DPCS)*100))
+	}
+	return t
+}
+
+// Fig4EnergyTable renders the normalised total cache energy panels
+// (4g–h) plus per-benchmark savings.
+func Fig4EnergyTable(d Fig4Data) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Fig. 4 — total cache energy (normalised), Config %s", d.Config),
+		"Benchmark", "Baseline", "SPCS", "DPCS", "SPCS sav%", "DPCS sav%")
+	for _, row := range d.Rows {
+		b := row.Baseline.TotalCacheEnergyJ
+		t.AddRow(row.Workload, "1.000",
+			fmt.Sprintf("%.3f", row.SPCS.TotalCacheEnergyJ/b),
+			fmt.Sprintf("%.3f", row.DPCS.TotalCacheEnergyJ/b),
+			fmt.Sprintf("%.1f", row.EnergySaving(core.SPCS)*100),
+			fmt.Sprintf("%.1f", row.EnergySaving(core.DPCS)*100))
+	}
+	return t
+}
+
+// SummaryTable renders the headline numbers.
+func SummaryTable(s Summary) *report.Table {
+	t := report.NewTable(fmt.Sprintf("Headline summary, Config %s", s.Config), "Metric", "Value")
+	t.AddRow("Mean SPCS energy saving", fmt.Sprintf("%.1f %%", s.MeanSavingSPCS*100))
+	t.AddRow("Mean DPCS energy saving", fmt.Sprintf("%.1f %%", s.MeanSavingDPCS*100))
+	t.AddRow("Mean DPCS saving vs SPCS", fmt.Sprintf("%.1f %%", s.MeanDPCSvsSPCS*100))
+	t.AddRow("Max SPCS exec overhead", fmt.Sprintf("%.2f %%", s.MaxOverheadSPCS*100))
+	t.AddRow("Max DPCS exec overhead", fmt.Sprintf("%.2f %%", s.MaxOverheadDPCS*100))
+	return t
+}

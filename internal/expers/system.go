@@ -1,0 +1,82 @@
+package expers
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpusim"
+	"repro/internal/report"
+)
+
+// SystemModel extends cache-only accounting to system-wide energy — the
+// paper's future-work item "an evaluation of system-wide power and
+// energy impacts". The CPU core burns power for the whole runtime
+// (so policy-induced slowdown costs core energy, partially offsetting
+// cache savings) and every DRAM access costs fixed energy (so extra
+// misses cost DRAM energy too).
+type SystemModel struct {
+	// CorePowerW is the CPU core's (non-cache) average power draw.
+	CorePowerW float64
+	// DRAMAccessNJ is the energy per DRAM access (activation + burst).
+	DRAMAccessNJ float64
+	// DRAMIdleW is the DRAM background power.
+	DRAMIdleW float64
+}
+
+// DefaultSystemModel returns a 45 nm-era single-core budget: ~1 W core,
+// ~20 nJ per DRAM access, ~150 mW DRAM background.
+func DefaultSystemModel() SystemModel {
+	return SystemModel{CorePowerW: 1.0, DRAMAccessNJ: 20, DRAMIdleW: 0.15}
+}
+
+// SystemEnergyJ computes the run's total system energy: caches + core +
+// DRAM.
+func (m SystemModel) SystemEnergyJ(r cpusim.Result) float64 {
+	dramAccesses := float64(r.L2.Stats.Misses + r.L2.Stats.Writebacks)
+	return r.TotalCacheEnergyJ +
+		m.CorePowerW*r.Seconds +
+		m.DRAMIdleW*r.Seconds +
+		dramAccesses*m.DRAMAccessNJ*1e-9
+}
+
+// SystemRow is one benchmark's system-wide comparison.
+type SystemRow struct {
+	Workload            string
+	CacheShareOfSystem  float64 // baseline caches / baseline system
+	CacheSavingSPCSPct  float64
+	SystemSavingSPCSPct float64
+	CacheSavingDPCSPct  float64
+	SystemSavingDPCSPct float64
+}
+
+// SystemWide converts Fig. 4 data into system-level savings under the
+// given model. The expected shape: system-level savings are the cache
+// savings scaled by the caches' share of system energy, minus the energy
+// cost of any runtime increase — Amdahl's Law applied one level up,
+// exactly the caveat the paper raises about over-celebrating min-VDD.
+func SystemWide(d Fig4Data, m SystemModel) ([]SystemRow, *report.Table) {
+	var rows []SystemRow
+	t := report.NewTable(
+		fmt.Sprintf("System-wide energy impact, Config %s (core %.1f W, DRAM %.0f nJ/access)",
+			d.Config, m.CorePowerW, m.DRAMAccessNJ),
+		"Benchmark", "Cache share %", "SPCS cache %", "SPCS system %", "DPCS cache %", "DPCS system %")
+	for _, r := range d.Rows {
+		baseSys := m.SystemEnergyJ(r.Baseline)
+		row := SystemRow{
+			Workload:            r.Workload,
+			CacheShareOfSystem:  r.Baseline.TotalCacheEnergyJ / baseSys,
+			CacheSavingSPCSPct:  r.EnergySaving(core.SPCS) * 100,
+			SystemSavingSPCSPct: (1 - m.SystemEnergyJ(r.SPCS)/baseSys) * 100,
+			CacheSavingDPCSPct:  r.EnergySaving(core.DPCS) * 100,
+			SystemSavingDPCSPct: (1 - m.SystemEnergyJ(r.DPCS)/baseSys) * 100,
+		}
+		rows = append(rows, row)
+		t.AddRow(r.Workload,
+			fmt.Sprintf("%.1f", row.CacheShareOfSystem*100),
+			fmt.Sprintf("%.1f", row.CacheSavingSPCSPct),
+			fmt.Sprintf("%.1f", row.SystemSavingSPCSPct),
+			fmt.Sprintf("%.1f", row.CacheSavingDPCSPct),
+			fmt.Sprintf("%.1f", row.SystemSavingDPCSPct))
+	}
+	return rows, t
+}

@@ -1,0 +1,43 @@
+package expers
+
+import (
+	"testing"
+
+	"repro/internal/cpusim"
+)
+
+func TestSystemEnergyComponents(t *testing.T) {
+	m := DefaultSystemModel()
+	r := cpusim.Result{Seconds: 0.001, TotalCacheEnergyJ: 0.0005}
+	r.L2.Stats.Misses = 1000
+	r.L2.Stats.Writebacks = 500
+	got := m.SystemEnergyJ(r)
+	want := 0.0005 + 1.0*0.001 + 0.15*0.001 + 1500*20e-9
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("system energy %v, want %v", got, want)
+	}
+}
+
+func TestSystemWideSavingsSmallerThanCacheSavings(t *testing.T) {
+	d := miniFig4(t)
+	rows, tbl := SystemWide(d, DefaultSystemModel())
+	if tbl == nil || len(rows) != len(d.Rows) {
+		t.Fatal("row count")
+	}
+	for _, r := range rows {
+		// Amdahl: system saving can't exceed the cache share times the
+		// cache saving (plus epsilon for DRAM second-order effects).
+		bound := r.CacheShareOfSystem*r.CacheSavingSPCSPct + 2
+		if r.SystemSavingSPCSPct > bound {
+			t.Errorf("%s: system saving %v exceeds Amdahl bound %v",
+				r.Workload, r.SystemSavingSPCSPct, bound)
+		}
+		if r.SystemSavingSPCSPct >= r.CacheSavingSPCSPct {
+			t.Errorf("%s: system saving %v not below cache saving %v",
+				r.Workload, r.SystemSavingSPCSPct, r.CacheSavingSPCSPct)
+		}
+		if r.CacheShareOfSystem <= 0 || r.CacheShareOfSystem >= 1 {
+			t.Errorf("%s: cache share %v", r.Workload, r.CacheShareOfSystem)
+		}
+	}
+}

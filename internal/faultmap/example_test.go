@@ -1,0 +1,24 @@
+package faultmap_test
+
+import (
+	"fmt"
+
+	"repro/internal/faultmap"
+)
+
+// Example shows the compressed FM encoding: one small field answers
+// "is this block faulty?" for every allowed voltage level.
+func Example() {
+	levels := faultmap.MustLevels(0.54, 0.70, 1.00)
+	m := faultmap.NewMap(levels, 4)
+	m.SetFromVmin(2, 0.65) // block 2 is reliable only at >= 0.65 V
+	for k := 1; k <= levels.N(); k++ {
+		fmt.Printf("block 2 at %.2f V: faulty=%v\n", levels.Volts(k), m.FaultyAt(2, k))
+	}
+	fmt.Printf("storage: %d bits per block\n", m.StorageBitsPerBlock())
+	// Output:
+	// block 2 at 0.54 V: faulty=true
+	// block 2 at 0.70 V: faulty=false
+	// block 2 at 1.00 V: faulty=false
+	// storage: 3 bits per block
+}

@@ -1,0 +1,29 @@
+package faultmap
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMap feeds arbitrary bytes to the fault-map deserialiser: it
+// must never panic or allocate absurdly.
+func FuzzReadMap(f *testing.F) {
+	m := NewMap(MustLevels(0.5, 0.7, 1.0), 16)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x46, 0x53, 0x43, 0x50, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadMap(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed map must be internally consistent.
+		if err := got.CheckInclusion(); err != nil {
+			t.Fatalf("parsed map inconsistent: %v", err)
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package faultmodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/faultmodel"
+	"repro/internal/sram"
+)
+
+// Example derives the paper's design-time voltage plan for the Config-A
+// L1 cache from the SRAM fault model.
+func Example() {
+	geom := faultmodel.Geometry{Sets: 256, Ways: 4, BlockBits: 512}
+	m, err := faultmodel.New(geom, sram.NewWangCalhounBER())
+	if err != nil {
+		panic(err)
+	}
+	v1, v2, v3, err := m.VDDLevels(1.00, 0.30, faultmodel.VDD1CapacityFloor(geom.Ways))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("VDD1=%.2f VDD2=%.2f VDD3=%.2f\n", v1, v2, v3)
+	fmt.Printf("expected capacity at VDD2: %.4f\n", m.ExpectedCapacity(v2))
+	// Output:
+	// VDD1=0.62 VDD2=0.71 VDD3=1.00
+	// expected capacity at VDD2: 0.9925
+}

@@ -1,0 +1,244 @@
+// Package leakage implements the two classic leakage-reduction baselines
+// the paper builds on and contrasts itself with in Sec. 2:
+//
+//   - Drowsy Cache (Flautner et al., ISCA 2002 — the paper's [9]):
+//     periodically drop every line into a low-voltage state-retentive
+//     "drowsy" mode; an access to a drowsy line pays a wake-up penalty
+//     but no data is lost. Saves static power on idle lines without
+//     capacity loss — but, as the paper stresses, the drowsy retention
+//     voltage sits exactly where noise-margin faults explode, and the
+//     technique has no fault-tolerance story.
+//
+//   - Gated-Vdd / cache decay (Powell et al., ISLPED 2000 — the paper's
+//     [18]): power-gate lines that have not been used for a decay
+//     interval. Gated lines leak ~nothing but lose their contents, so a
+//     later access misses (and dirty lines must be written back first).
+//
+// Both operate at nominal VDD on a conventional cache; the paper's
+// mechanism instead scales the whole data array's voltage and gates only
+// the blocks that become faulty. expers.LeakageComparison puts all four
+// (baseline, drowsy, decay, SPCS) on one table.
+package leakage
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// DrowsyParams configure the drowsy-cache technique.
+type DrowsyParams struct {
+	// IntervalCycles is the period after which every line is put into
+	// drowsy mode (the original paper's "simple" policy, 4000 cycles).
+	IntervalCycles uint64
+	// WakeCycles is the extra latency of accessing a drowsy line.
+	WakeCycles uint64
+	// DrowsyLeakFactor is a drowsy line's leakage relative to active
+	// (the retention voltage's leakage, ~0.25 in the original work).
+	DrowsyLeakFactor float64
+}
+
+// DefaultDrowsyParams returns the original paper's simple-policy values.
+func DefaultDrowsyParams() DrowsyParams {
+	return DrowsyParams{IntervalCycles: 4000, WakeCycles: 1, DrowsyLeakFactor: 0.25}
+}
+
+// DrowsyCache wraps a cache with the drowsy technique and integrates its
+// data-array leakage over time.
+type DrowsyCache struct {
+	C      *cache.Cache
+	P      DrowsyParams
+	drowsy []bool
+	// Energy integration: leakage in units of (active-line-cycles).
+	lastCycle        uint64
+	activeLineCycles float64
+	nextDoze         uint64
+	// Wakes counts drowsy lines woken by accesses.
+	Wakes uint64
+}
+
+// NewDrowsy wraps c.
+func NewDrowsy(c *cache.Cache, p DrowsyParams) *DrowsyCache {
+	if p.IntervalCycles == 0 {
+		p = DefaultDrowsyParams()
+	}
+	return &DrowsyCache{C: c, P: p, drowsy: make([]bool, c.NumBlocks()),
+		nextDoze: p.IntervalCycles}
+}
+
+// advance integrates leakage up to now, applying the periodic global
+// doze at each interval boundary it crosses (the doze is a timer, not an
+// access side effect: an idle cache still dozes).
+func (d *DrowsyCache) advance(now uint64) {
+	for d.lastCycle < now {
+		segEnd := now
+		dozeHere := false
+		if d.nextDoze > d.lastCycle && d.nextDoze <= now {
+			segEnd = d.nextDoze
+			dozeHere = true
+		}
+		dc := float64(segEnd - d.lastCycle)
+		awake := 0
+		for _, dr := range d.drowsy {
+			if !dr {
+				awake++
+			}
+		}
+		asleep := d.C.NumBlocks() - awake
+		d.activeLineCycles += dc * (float64(awake) + d.P.DrowsyLeakFactor*float64(asleep))
+		d.lastCycle = segEnd
+		if dozeHere {
+			for i := range d.drowsy {
+				d.drowsy[i] = true
+			}
+			d.nextDoze += d.P.IntervalCycles
+		}
+	}
+}
+
+// Access performs one access at cycle now, returning the extra latency
+// the technique adds (the wake-up penalty, if any).
+func (d *DrowsyCache) Access(addr uint64, write bool, now uint64) (res cache.AccessResult, extra uint64) {
+	d.advance(now) // applies any pending global dozes
+	res = d.C.Access(addr, write)
+	if res.Hit || res.Fill {
+		if set, way, ok := d.C.FindFrame(addr &^ uint64(d.C.BlockBytes()-1)); ok {
+			idx := d.C.BlockIndex(set, way)
+			if d.drowsy[idx] {
+				d.drowsy[idx] = false
+				d.Wakes++
+				extra = d.P.WakeCycles
+			} else if res.Fill {
+				d.drowsy[idx] = false
+			}
+		}
+	}
+	return res, extra
+}
+
+// ActiveLineCycles finalises integration at now and returns the
+// accumulated full-leakage line-cycles (multiply by per-line leakage
+// power / clock to get joules).
+func (d *DrowsyCache) ActiveLineCycles(now uint64) float64 {
+	d.advance(now)
+	return d.activeLineCycles
+}
+
+// DecayParams configure the cache-decay (Gated-Vdd) technique.
+type DecayParams struct {
+	// IntervalCycles is the idle time after which a line is gated.
+	IntervalCycles uint64
+	// SweepCycles is how often the decay counters are checked.
+	SweepCycles uint64
+}
+
+// DefaultDecayParams returns classic competitive cache-decay values:
+// the decay interval must comfortably exceed typical reuse distances or
+// the induced misses swamp the leakage savings (the original paper's
+// adaptive variants exist precisely because of that trade-off).
+func DefaultDecayParams() DecayParams {
+	return DecayParams{IntervalCycles: 262144, SweepCycles: 16384}
+}
+
+// DecayCache wraps a cache with the decay technique.
+type DecayCache struct {
+	C *cache.Cache
+	P DecayParams
+	// lastUse tracks each frame's last access cycle.
+	lastUse []uint64
+	off     []bool
+	// Energy integration in active-line-cycles (off lines leak zero).
+	lastCycle        uint64
+	activeLineCycles float64
+	nextSweep        uint64
+	// DecayedLines counts lines turned off; DecayWritebacks the dirty
+	// ones written back on the way out.
+	DecayedLines    uint64
+	DecayWritebacks uint64
+	// sink receives decay writebacks.
+	sink func(addr uint64)
+}
+
+// NewDecay wraps c; sink receives the writebacks of dirty decayed lines
+// (may be nil).
+func NewDecay(c *cache.Cache, p DecayParams, sink func(addr uint64)) *DecayCache {
+	if p.IntervalCycles == 0 {
+		p = DefaultDecayParams()
+	}
+	return &DecayCache{C: c, P: p, lastUse: make([]uint64, c.NumBlocks()),
+		off: make([]bool, c.NumBlocks()), nextSweep: p.SweepCycles, sink: sink}
+}
+
+func (d *DecayCache) advance(now uint64) {
+	dc := float64(now - d.lastCycle)
+	if dc <= 0 {
+		d.lastCycle = now
+		return
+	}
+	on := 0
+	for _, o := range d.off {
+		if !o {
+			on++
+		}
+	}
+	d.activeLineCycles += dc * float64(on)
+	d.lastCycle = now
+}
+
+// sweep gates every line idle longer than the decay interval.
+func (d *DecayCache) sweep(now uint64) {
+	for s := 0; s < d.C.Sets(); s++ {
+		for w := 0; w < d.C.Ways(); w++ {
+			idx := d.C.BlockIndex(s, w)
+			if d.off[idx] {
+				continue
+			}
+			if now-d.lastUse[idx] < d.P.IntervalCycles {
+				continue
+			}
+			// Idle long enough: gate the frame. Valid dirty contents are
+			// written back first; invalid (never-used) frames gate for
+			// free — Gated-Vdd's original target was exactly such unused
+			// capacity.
+			if meta := d.C.Meta(s, w); meta.Valid {
+				if need, addr := d.C.InvalidateFrame(s, w); need {
+					d.DecayWritebacks++
+					if d.sink != nil {
+						d.sink(addr)
+					}
+				}
+			}
+			d.off[idx] = true
+			d.DecayedLines++
+		}
+	}
+}
+
+// Access performs one access at cycle now. Gated frames power back on
+// transparently when the LRU fill reuses them (zero extra latency in the
+// original design; the miss itself is the cost).
+func (d *DecayCache) Access(addr uint64, write bool, now uint64) cache.AccessResult {
+	d.advance(now)
+	if now >= d.nextSweep {
+		d.sweep(now)
+		d.nextSweep = now + d.P.SweepCycles
+	}
+	res := d.C.Access(addr, write)
+	if set, way, ok := d.C.FindFrame(addr &^ uint64(d.C.BlockBytes()-1)); ok {
+		idx := d.C.BlockIndex(set, way)
+		d.lastUse[idx] = now
+		d.off[idx] = false // the frame is in use again
+	}
+	return res
+}
+
+// ActiveLineCycles finalises integration at now.
+func (d *DecayCache) ActiveLineCycles(now uint64) float64 {
+	d.advance(now)
+	return d.activeLineCycles
+}
+
+// String summarises decay activity.
+func (d *DecayCache) String() string {
+	return fmt.Sprintf("decay: %d lines gated, %d writebacks", d.DecayedLines, d.DecayWritebacks)
+}

@@ -1,0 +1,134 @@
+package leakage
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func newTestCache() *cache.Cache {
+	return cache.MustNew(cache.Config{Name: "t", SizeBytes: 4096, Assoc: 4, BlockBytes: 64})
+}
+
+func TestDrowsyWakePenalty(t *testing.T) {
+	d := NewDrowsy(newTestCache(), DrowsyParams{IntervalCycles: 100, WakeCycles: 1, DrowsyLeakFactor: 0.25})
+	// Fill a line; it starts awake.
+	if _, extra := d.Access(0x40, false, 0); extra != 0 {
+		t.Fatalf("fresh fill paid a wake penalty")
+	}
+	if _, extra := d.Access(0x40, false, 10); extra != 0 {
+		t.Fatalf("awake hit paid a wake penalty")
+	}
+	// Past the interval, the global doze triggers: the next hit wakes.
+	if _, extra := d.Access(0x40, false, 150); extra != 1 {
+		t.Fatalf("drowsy hit paid %d, want 1", extra)
+	}
+	if d.Wakes != 1 {
+		t.Fatalf("wake count %d", d.Wakes)
+	}
+	// And it is awake again.
+	if _, extra := d.Access(0x40, false, 160); extra != 0 {
+		t.Fatalf("rewoken line paid a penalty")
+	}
+}
+
+func TestDrowsyRetainsState(t *testing.T) {
+	d := NewDrowsy(newTestCache(), DrowsyParams{IntervalCycles: 50, WakeCycles: 1, DrowsyLeakFactor: 0.25})
+	d.Access(0x40, true, 0)
+	res, _ := d.Access(0x40, false, 1000) // long after dozing
+	if !res.Hit {
+		t.Fatal("drowsy cache lost state")
+	}
+}
+
+func TestDrowsyLeakageBetweenBaselineAndFloor(t *testing.T) {
+	c := newTestCache()
+	d := NewDrowsy(c, DrowsyParams{IntervalCycles: 100, WakeCycles: 1, DrowsyLeakFactor: 0.25})
+	// One access, then idle for a long time: nearly everything drowsy.
+	d.Access(0x40, false, 0)
+	const end = 100_000
+	got := d.ActiveLineCycles(end)
+	full := float64(end) * float64(c.NumBlocks())
+	floor := full * 0.25
+	if got <= floor || got >= full {
+		t.Fatalf("drowsy leakage %v outside (%v, %v)", got, floor, full)
+	}
+	// Mostly asleep: closer to the floor than to full leakage.
+	if got > full*0.30 {
+		t.Errorf("idle drowsy cache leaks %v of full %v", got, full)
+	}
+}
+
+func TestDecayGatesIdleLines(t *testing.T) {
+	var wbs []uint64
+	g := NewDecay(newTestCache(), DecayParams{IntervalCycles: 100, SweepCycles: 50},
+		func(a uint64) { wbs = append(wbs, a) })
+	g.Access(0x40, true, 0) // dirty line
+	// Idle long past the decay interval; a later unrelated access
+	// triggers the sweep.
+	g.Access(0x1040, false, 500)
+	if g.DecayedLines == 0 {
+		t.Fatal("idle line not decayed")
+	}
+	if g.DecayWritebacks != 1 || len(wbs) != 1 || wbs[0] != 0x40 {
+		t.Fatalf("decay writebacks: %d %v", g.DecayWritebacks, wbs)
+	}
+	// The decayed line's state is gone: re-access misses.
+	res := g.Access(0x40, false, 510)
+	if res.Hit {
+		t.Fatal("decayed line still hits")
+	}
+}
+
+func TestDecayKeepsHotLines(t *testing.T) {
+	g := NewDecay(newTestCache(), DecayParams{IntervalCycles: 100, SweepCycles: 50}, nil)
+	for now := uint64(0); now < 1000; now += 20 {
+		res := g.Access(0x40, false, now)
+		if now > 0 && !res.Hit {
+			t.Fatalf("hot line lost at cycle %d", now)
+		}
+	}
+	// Idle (invalid) frames decay — that is Gated-Vdd working — but the
+	// hot frame itself must stay powered.
+	if set, way, ok := g.C.FindFrame(0x40); !ok {
+		t.Fatal("hot frame missing")
+	} else if g.C.Meta(set, way).Valid == false {
+		t.Fatal("hot frame invalidated")
+	}
+}
+
+func TestDecayLeakageDropsWhenIdle(t *testing.T) {
+	c := newTestCache()
+	g := NewDecay(c, DecayParams{IntervalCycles: 100, SweepCycles: 50}, nil)
+	g.Access(0x40, false, 0)
+	// Touch periodically so sweeps run while everything else is off.
+	for now := uint64(100); now <= 10_000; now += 100 {
+		g.Access(0x8000+now*64, false, now)
+	}
+	got := g.ActiveLineCycles(10_000)
+	full := 10_000.0 * float64(c.NumBlocks())
+	if got >= full {
+		t.Fatalf("decay leakage %v not below full %v", got, full)
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	if DefaultDrowsyParams().IntervalCycles != 4000 {
+		t.Error("drowsy default interval")
+	}
+	if DefaultDecayParams().IntervalCycles == 0 {
+		t.Error("decay default interval")
+	}
+	// Zero params fall back to defaults.
+	d := NewDrowsy(newTestCache(), DrowsyParams{})
+	if d.P.IntervalCycles == 0 {
+		t.Error("drowsy zero params not defaulted")
+	}
+	g := NewDecay(newTestCache(), DecayParams{}, nil)
+	if g.P.IntervalCycles == 0 {
+		t.Error("decay zero params not defaulted")
+	}
+	if g.String() == "" {
+		t.Error("decay String empty")
+	}
+}

@@ -1,0 +1,194 @@
+package multicore
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpusim"
+	"repro/internal/trace"
+)
+
+func testWorkload() trace.Workload {
+	return trace.Workload{
+		Name: "mc-unit", CodeBytes: 16 << 10, JumpProb: 0.02, ZipfS: 1.1,
+		Phases: []trace.Phase{{
+			Instructions: 1 << 40, WorkingSetBytes: 256 << 10,
+			Mix: trace.PatternMix{Zipf: 0.6, Seq: 0.2}, WriteFrac: 0.3, MemFrac: 0.4,
+		}},
+	}
+}
+
+func smallConfig(cores int) Config {
+	return Config{
+		System:                 cpusim.ConfigA(),
+		Cores:                  cores,
+		SharedBytes:            256 << 10,
+		SharedFrac:             0.2,
+		CoherencePenaltyCycles: 20,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Config{
+		{System: cpusim.ConfigA(), Cores: 0},
+		{System: cpusim.ConfigA(), Cores: 2, SharedFrac: 1.5},
+		{System: cpusim.ConfigA(), Cores: 2, SharedFrac: 0.1, SharedBytes: 0},
+	}
+	for i, c := range bads {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestFourCoreBaselineRuns(t *testing.T) {
+	r, err := Run(smallConfig(4), core.Baseline, testWorkload(), 20_000, 100_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cores) != 4 {
+		t.Fatalf("%d core results", len(r.Cores))
+	}
+	for _, c := range r.Cores {
+		if c.Instructions != 100_000 || c.Cycles == 0 || c.IPC <= 0 {
+			t.Errorf("core %d: %+v", c.CoreID, c)
+		}
+		if c.L1I.Accesses != c.Instructions {
+			t.Errorf("core %d L1I accesses %d", c.CoreID, c.L1I.Accesses)
+		}
+	}
+	if r.TotalCacheEnergyJ <= 0 || r.L2EnergyJ <= 0 {
+		t.Error("no energy accounted")
+	}
+	if r.GlobalCycles == 0 {
+		t.Error("zero global cycles")
+	}
+}
+
+func TestCoherenceInvalidationsHappen(t *testing.T) {
+	// With a shared region and writes, remote copies must get
+	// invalidated.
+	r, err := Run(smallConfig(4), core.Baseline, testWorkload(), 20_000, 200_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CoherenceInvalidations == 0 {
+		t.Fatal("no coherence invalidations despite shared writes")
+	}
+	var perCore uint64
+	for _, c := range r.Cores {
+		perCore += c.Invalidated
+	}
+	if perCore != r.CoherenceInvalidations {
+		t.Errorf("per-core invalidations %d != total %d", perCore, r.CoherenceInvalidations)
+	}
+}
+
+func TestNoSharingNoInvalidations(t *testing.T) {
+	cfg := smallConfig(4)
+	cfg.SharedFrac = 0
+	cfg.SharedBytes = 0
+	r, err := Run(cfg, core.Baseline, testWorkload(), 20_000, 100_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CoherenceInvalidations != 0 {
+		t.Fatalf("%d invalidations with disjoint address spaces", r.CoherenceInvalidations)
+	}
+}
+
+func TestSingleCoreDegenerates(t *testing.T) {
+	cfg := smallConfig(1)
+	r, err := Run(cfg, core.Baseline, testWorkload(), 20_000, 100_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CoherenceInvalidations != 0 {
+		t.Error("single core invalidated itself")
+	}
+}
+
+func TestSPCSStillSavesEnergyMulticore(t *testing.T) {
+	w := testWorkload()
+	base, err := Run(smallConfig(2), core.Baseline, w, 50_000, 300_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spcs, err := Run(smallConfig(2), core.SPCS, w, 50_000, 300_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving := 1 - spcs.TotalCacheEnergyJ/base.TotalCacheEnergyJ
+	if saving < 0.35 || saving > 0.75 {
+		t.Errorf("multicore SPCS saving %v", saving)
+	}
+	overhead := float64(spcs.GlobalCycles)/float64(base.GlobalCycles) - 1
+	if overhead > 0.05 {
+		t.Errorf("multicore SPCS overhead %v", overhead)
+	}
+}
+
+func TestDPCSRunsMulticore(t *testing.T) {
+	r, err := Run(smallConfig(2), core.DPCS, testWorkload(), 100_000, 500_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode != core.DPCS {
+		t.Error("mode label")
+	}
+	// The shared L2 policy must have acted at least once (its Start
+	// transition happens before measurement; dwell changes need traffic).
+	if r.L2.Accesses == 0 {
+		t.Fatal("no L2 traffic")
+	}
+}
+
+func TestMulticoreDeterministic(t *testing.T) {
+	a, err := Run(smallConfig(2), core.SPCS, testWorkload(), 10_000, 100_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig(2), core.SPCS, testWorkload(), 10_000, 100_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GlobalCycles != b.GlobalCycles || a.TotalCacheEnergyJ != b.TotalCacheEnergyJ {
+		t.Fatal("same-seed multicore runs differ")
+	}
+}
+
+func TestMoreCoresMoreL2Pressure(t *testing.T) {
+	w := testWorkload()
+	r1, err := Run(smallConfig(1), core.Baseline, w, 20_000, 150_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := Run(smallConfig(4), core.Baseline, w, 20_000, 150_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.L2.Accesses <= r1.L2.Accesses {
+		t.Errorf("4-core L2 accesses %d not above 1-core %d", r4.L2.Accesses, r1.L2.Accesses)
+	}
+}
+
+func TestDirectory(t *testing.T) {
+	d := newDirectory()
+	d.addSharer(0x1000, 0)
+	d.addSharer(0x1000, 2)
+	mask := d.othersHolding(0x1000, 0)
+	if mask != 1<<2 {
+		t.Fatalf("others mask %b", mask)
+	}
+	// After the writer claimed exclusivity, only core 0 remains.
+	if m := d.othersHolding(0x1000, 0); m != 0 {
+		t.Fatalf("stale sharers %b", m)
+	}
+	d.drop(0x1000, 0)
+	if len(d.sharers) != 0 {
+		t.Error("directory entry not reclaimed")
+	}
+}

@@ -1,0 +1,109 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRenders(t *testing.T) {
+	c := Chart{Title: "t<est>", XLabel: "x", YLabel: "y"}
+	c.Add("a", []float64{0, 1, 2}, []float64{1, 4, 9})
+	c.Add("b", []float64{0, 1, 2}, []float64{2, 3, 4})
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "t&lt;est&gt;", ">a<", ">b<"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("series count wrong")
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	c := Chart{Title: "log", LogY: true}
+	c.Add("s", []float64{0.3, 0.6, 1.0}, []float64{1e-2, 1e-5, 1e-9})
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "1e-") {
+		t.Error("log tick labels missing")
+	}
+}
+
+func TestChartSkipsNonPositiveOnLogAxis(t *testing.T) {
+	c := Chart{LogY: true}
+	c.Add("s", []float64{0, 1, 2}, []float64{0, 1e-3, 1e-2})
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	var b strings.Builder
+	empty := Chart{}
+	if err := empty.Render(&b); err == nil {
+		t.Error("empty chart rendered")
+	}
+	bad := Chart{}
+	bad.Series = append(bad.Series, Series{Name: "m", X: []float64{1, 2}, Y: []float64{1}})
+	if err := bad.Render(&b); err == nil {
+		t.Error("mismatched series rendered")
+	}
+	allZeroLog := Chart{LogY: true}
+	allZeroLog.Add("z", []float64{1}, []float64{0})
+	if err := allZeroLog.Render(&b); err == nil {
+		t.Error("unplottable log chart rendered")
+	}
+}
+
+func TestChartDegenerateRangesHandled(t *testing.T) {
+	c := Chart{}
+	c.Add("flat", []float64{1, 1, 1}, []float64{5, 5, 5})
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarsRender(t *testing.T) {
+	bc := Bars{Title: "bars", YLabel: "v",
+		Labels: []string{"one", "two"},
+		Groups: []Series{{Name: "g1", Y: []float64{1, 2}}, {Name: "g2", Y: []float64{3, 0.5}}}}
+	var b strings.Builder
+	if err := bc.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// 4 bars + 2 legend swatches + background rect + frame.
+	if strings.Count(out, "<rect") < 8 {
+		t.Errorf("bar count: %d rects", strings.Count(out, "<rect"))
+	}
+}
+
+func TestBarsErrors(t *testing.T) {
+	var b strings.Builder
+	if err := (&Bars{}).Render(&b); err == nil {
+		t.Error("empty bar chart rendered")
+	}
+	mismatch := Bars{Labels: []string{"a"}, Groups: []Series{{Name: "g", Y: []float64{1, 2}}}}
+	if err := mismatch.Render(&b); err == nil {
+		t.Error("mismatched bar chart rendered")
+	}
+	negative := Bars{Labels: []string{"a"}, Groups: []Series{{Name: "g", Y: []float64{-1}}}}
+	if err := negative.Render(&b); err == nil {
+		t.Error("negative bar chart rendered")
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	if fmtTick(1234) != "1234" || fmtTick(12.34) != "12.3" || fmtTick(0.123) != "0.12" {
+		t.Errorf("tick formats: %q %q %q", fmtTick(1234.0), fmtTick(12.34), fmtTick(0.123))
+	}
+}

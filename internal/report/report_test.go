@@ -1,0 +1,104 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "A", "LongHeader")
+	tb.AddRow("x", 1.5)
+	tb.AddRow("longer-cell", 42)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== Title ==", "A", "LongHeader", "longer-cell", "1.5", "42", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "H1", "H2")
+	tb.AddRow("a", "b")
+	tb.AddRow("ccc", "d")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// Second column must start at the same offset in every row.
+	idx := strings.Index(lines[0], "H2")
+	for _, ln := range lines[2:] {
+		cell := strings.TrimLeft(ln[idx:], " ")
+		if !strings.HasPrefix(cell, "b") && !strings.HasPrefix(cell, "d") {
+			t.Errorf("misaligned row: %q", ln)
+		}
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1234567, "1.235e+06"},
+		{0.0001234, "1.234e-04"},
+		{123.456, "123.5"},
+		{1.2345, "1.234"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.v); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow("plain", `with,comma`)
+	tb.AddRow(`with"quote`, "x")
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Errorf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Errorf("quote cell not escaped: %s", out)
+	}
+	if strings.Contains(out, "ignored") {
+		t.Error("CSV contains the title")
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("CSV line count %d", lines)
+	}
+}
+
+func TestMixedCellTypes(t *testing.T) {
+	tb := NewTable("", "c")
+	tb.AddRow(float32(2.5))
+	tb.AddRow(7)
+	tb.AddRow(true)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"2.5", "7", "true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package sram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBERMonotoneNonIncreasing(t *testing.T) {
+	m := NewWangCalhounBER()
+	prev := math.Inf(1)
+	for v := 0.20; v <= 1.20; v += 0.005 {
+		b := m.BER(v)
+		if b > prev+1e-18 {
+			t.Fatalf("BER increased with voltage at %v V: %v > %v", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestBERAnchors(t *testing.T) {
+	m := NewWangCalhounBER()
+	cases := []struct{ v, want float64 }{
+		{1.00, 1e-9},
+		{0.70, math.Pow(10, -4.7)},
+		{0.54, math.Pow(10, -3.8)},
+		{0.30, math.Pow(10, -1.8)},
+	}
+	for _, c := range cases {
+		got := m.BER(c.v)
+		if math.Abs(math.Log10(got)-math.Log10(c.want)) > 1e-9 {
+			t.Errorf("BER(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBERInterpolatesLogLinear(t *testing.T) {
+	m := NewWangCalhounBER()
+	// Midpoint of the (0.90,-7.5)..(1.00,-9.0) segment.
+	got := math.Log10(m.BER(0.95))
+	if math.Abs(got-(-8.25)) > 1e-9 {
+		t.Errorf("log10 BER(0.95) = %v, want -8.25", got)
+	}
+}
+
+func TestBERClamps(t *testing.T) {
+	m := NewWangCalhounBER()
+	if got := m.BER(2.0); got != 1e-12 {
+		t.Errorf("high-voltage clamp %v, want 1e-12", got)
+	}
+	if got := m.BER(0.0); got != 0.3 {
+		t.Errorf("low-voltage clamp %v, want 0.3", got)
+	}
+}
+
+func TestBERMagnitudesMatchFig2(t *testing.T) {
+	// The paper's Fig. 2 spans roughly 1e-9..1e-3 over the studied range.
+	m := NewWangCalhounBER()
+	if b := m.BER(1.0); b > 1e-8 {
+		t.Errorf("nominal BER %v too high", b)
+	}
+	if b := m.BER(0.45); b < 1e-4 || b > 1e-2 {
+		t.Errorf("low-voltage BER %v outside Fig. 2 range", b)
+	}
+}
+
+func TestCustomBERValidation(t *testing.T) {
+	if _, err := NewCustomBER(map[float64]float64{0.5: 1e-3}); err == nil {
+		t.Error("single-point model accepted")
+	}
+	if _, err := NewCustomBER(map[float64]float64{0.5: 1e-3, 0.8: 1e-2}); err == nil {
+		t.Error("increasing BER accepted")
+	}
+	if _, err := NewCustomBER(map[float64]float64{0.5: 2, 0.8: 1e-5}); err == nil {
+		t.Error("BER >= 1 accepted")
+	}
+	m, err := NewCustomBER(map[float64]float64{0.5: 1e-3, 0.8: 1e-6, 1.0: 1e-9})
+	if err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	if got := m.BER(0.8); math.Abs(math.Log10(got)+6) > 1e-9 {
+		t.Errorf("custom BER(0.8) = %v", got)
+	}
+}
+
+func TestVminInversionConsistency(t *testing.T) {
+	// For any quantile u, the returned Vmin must satisfy BER(Vmin) <= u
+	// and BER just below Vmin > u (when in range).
+	m := NewWangCalhounBER()
+	if err := quick.Check(func(raw uint32) bool {
+		u := math.Pow(10, -9*float64(raw%1000)/999) // spread over 1..1e-9
+		v := m.VminFromUniform(u, 0.30, 1.00)
+		if math.IsInf(v, 1) {
+			return m.BER(1.00) > u
+		}
+		if v <= 0.30 {
+			return m.BER(0.30) <= u
+		}
+		return m.BER(v) <= u && m.BER(v-1e-6) >= u*(1-1e-9)
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVminPopulationMatchesBER(t *testing.T) {
+	// Sampling many cells' Vmin and thresholding at voltage v must give a
+	// fault fraction close to BER(v).
+	m := NewWangCalhounBER()
+	const n = 2_000_000
+	rng := newTestRNG(99)
+	faultyAt := func(v float64) int {
+		c := 0
+		rr := newTestRNG(99)
+		for i := 0; i < n; i++ {
+			if m.VminFromUniform(rr.Float64(), 0.30, 1.00) > v {
+				c++
+			}
+		}
+		return c
+	}
+	_ = rng
+	v := 0.45
+	want := m.BER(v)
+	got := float64(faultyAt(v)) / n
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("population fault rate at %v V = %v, BER = %v", v, got, want)
+	}
+}

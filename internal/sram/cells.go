@@ -1,0 +1,85 @@
+package sram
+
+import "fmt"
+
+// CellType selects the SRAM bit-cell design. The paper builds on
+// standard 6T cells and argues that low-voltage-hardened cells (8T, 10T)
+// buy their lower Vmin with "inherently high area overheads"; this
+// library quantifies that trade-off so the comparison in the paper's
+// Sec. 2 can be reproduced: an 8T/10T array reaches a lower voltage
+// without fault tolerance, but the 6T + power/capacity-scaling
+// combination gets most of the voltage reduction at a fraction of the
+// area.
+type CellType int
+
+const (
+	// Cell6T is the standard 6-transistor cell the paper assumes.
+	Cell6T CellType = iota
+	// Cell8T adds a decoupled read port (Chang et al.), improving read
+	// stability at low voltage.
+	Cell8T
+	// Cell10T further isolates the read path (Calhoun-Chandrakasan),
+	// enabling sub-threshold reads.
+	Cell10T
+)
+
+// String implements fmt.Stringer.
+func (c CellType) String() string {
+	switch c {
+	case Cell6T:
+		return "6T"
+	case Cell8T:
+		return "8T"
+	case Cell10T:
+		return "10T"
+	default:
+		return fmt.Sprintf("CellType(%d)", int(c))
+	}
+}
+
+// CellParams describes a bit-cell design's fault and cost behaviour.
+type CellParams struct {
+	Type CellType
+	// AreaFactor is the cell area relative to 6T. The paper quotes 66 %
+	// overhead for 10T SRAM (i.e. factor 1.66); 8T is ~1.3x.
+	AreaFactor float64
+	// LeakageFactor is static leakage relative to 6T (more transistors
+	// leak more).
+	LeakageFactor float64
+	// VminShift is subtracted from the supply before evaluating the 6T
+	// BER curve: a hardened cell at VDD behaves like a 6T cell at
+	// VDD + shift. 8T read-decoupling buys roughly 100 mV; 10T ~200 mV.
+	VminShift float64
+}
+
+// Cells returns the parameter set for a cell type.
+func Cells(t CellType) CellParams {
+	switch t {
+	case Cell8T:
+		return CellParams{Type: Cell8T, AreaFactor: 1.30, LeakageFactor: 1.30, VminShift: 0.10}
+	case Cell10T:
+		return CellParams{Type: Cell10T, AreaFactor: 1.66, LeakageFactor: 1.60, VminShift: 0.20}
+	default:
+		return CellParams{Type: Cell6T, AreaFactor: 1.0, LeakageFactor: 1.0, VminShift: 0}
+	}
+}
+
+// ShiftedBER wraps a base (6T) BER model with a cell design's Vmin
+// shift: BER_cell(v) = BER_6T(v + shift).
+type ShiftedBER struct {
+	Base  BERModel
+	Shift float64
+}
+
+// BER implements BERModel.
+func (s ShiftedBER) BER(vdd float64) float64 { return s.Base.BER(vdd + s.Shift) }
+
+// ForCell returns the effective BER model of the given cell type layered
+// over a 6T base model.
+func ForCell(base BERModel, t CellType) BERModel {
+	p := Cells(t)
+	if p.VminShift == 0 {
+		return base
+	}
+	return ShiftedBER{Base: base, Shift: p.VminShift}
+}

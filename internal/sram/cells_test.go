@@ -1,0 +1,60 @@
+package sram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCellParams(t *testing.T) {
+	p6 := Cells(Cell6T)
+	p8 := Cells(Cell8T)
+	p10 := Cells(Cell10T)
+	if p6.AreaFactor != 1 || p6.LeakageFactor != 1 || p6.VminShift != 0 {
+		t.Errorf("6T params: %+v", p6)
+	}
+	// Area and leakage grow with transistor count; Vmin shift improves.
+	if !(p6.AreaFactor < p8.AreaFactor && p8.AreaFactor < p10.AreaFactor) {
+		t.Error("area ordering")
+	}
+	if !(p6.VminShift < p8.VminShift && p8.VminShift < p10.VminShift) {
+		t.Error("Vmin shift ordering")
+	}
+	// Paper quote: 10T SRAM area overhead 66%.
+	if math.Abs(p10.AreaFactor-1.66) > 1e-12 {
+		t.Errorf("10T area factor %v", p10.AreaFactor)
+	}
+}
+
+func TestCellTypeString(t *testing.T) {
+	if Cell6T.String() != "6T" || Cell8T.String() != "8T" || Cell10T.String() != "10T" {
+		t.Error("cell names")
+	}
+	if CellType(7).String() == "" {
+		t.Error("unknown cell name empty")
+	}
+}
+
+func TestShiftedBER(t *testing.T) {
+	base := NewWangCalhounBER()
+	ber8 := ForCell(base, Cell8T)
+	// An 8T cell at 0.5 V behaves like a 6T cell at 0.6 V.
+	if got, want := ber8.BER(0.5), base.BER(0.6); got != want {
+		t.Errorf("shifted BER %v, want %v", got, want)
+	}
+	// 6T passes through unchanged (same object).
+	if ForCell(base, Cell6T).BER(0.5) != base.BER(0.5) {
+		t.Error("6T shift changed the model")
+	}
+}
+
+func TestHardenedCellsFailLess(t *testing.T) {
+	base := NewWangCalhounBER()
+	for _, v := range []float64{0.4, 0.5, 0.6, 0.7} {
+		b6 := base.BER(v)
+		b8 := ForCell(base, Cell8T).BER(v)
+		b10 := ForCell(base, Cell10T).BER(v)
+		if !(b10 <= b8 && b8 <= b6) {
+			t.Errorf("BER ordering violated at %v V: %v %v %v", v, b6, b8, b10)
+		}
+	}
+}

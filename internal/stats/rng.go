@@ -1,0 +1,198 @@
+// Package stats provides deterministic pseudo-random number generation,
+// sampling from common distributions, and summary statistics.
+//
+// Every stochastic component of the simulator (SRAM cell Vmin draws,
+// synthetic workload generators, fault placement) draws from an explicitly
+// seeded RNG from this package so that experiments are reproducible
+// bit-for-bit across runs and platforms.
+package stats
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on
+// xoshiro256** seeded via SplitMix64. It is not safe for concurrent use;
+// give each goroutine its own RNG (see Split).
+type RNG struct {
+	s [4]uint64
+	// cached spare normal deviate for Box-Muller
+	haveSpare bool
+	spare     float64
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used only for seeding.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded from the given 64-bit seed.
+// Two RNGs constructed with the same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// Avoid the (astronomically unlikely) all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split derives a new, statistically independent RNG from r.
+// The parent stream advances by one draw.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 random mantissa bits.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's method
+// with rejection to remove modulo bias. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("stats: Uint64n called with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Rejection sampling on the top range to remove bias.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := r.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Normal returns a draw from the normal distribution with the given mean
+// and standard deviation, using the Box-Muller transform (polar form).
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return mean + stddev*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.haveSpare = true
+	return mean + stddev*u*m
+}
+
+// Exponential returns a draw from the exponential distribution with the
+// given rate parameter lambda (> 0).
+func (r *RNG) Exponential(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("stats: Exponential called with lambda <= 0")
+	}
+	// 1-Float64() is in (0,1], avoiding log(0).
+	return -math.Log(1-r.Float64()) / lambda
+}
+
+// Geometric returns a draw from the geometric distribution: the number of
+// Bernoulli(p) failures before the first success. p must be in (0, 1].
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("stats: Geometric requires p in (0,1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	u := 1 - r.Float64() // (0,1]
+	return int(math.Floor(math.Log(u) / math.Log(1-p)))
+}
+
+// Binomial returns a draw from Binomial(n, p). For small n it uses direct
+// Bernoulli summation; for large n with small p it uses geometric skipping.
+func (r *RNG) Binomial(n int, p float64) int {
+	if n < 0 {
+		panic("stats: Binomial called with n < 0")
+	}
+	if p <= 0 || n == 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - r.Binomial(n, 1-p)
+	}
+	// Geometric skipping: expected work O(n*p).
+	count := 0
+	i := -1
+	for {
+		skip := r.Geometric(p)
+		i += skip + 1
+		if i >= n {
+			break
+		}
+		count++
+	}
+	return count
+}
+
+// Perm returns a random permutation of [0, n) via Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

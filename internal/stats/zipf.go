@@ -1,0 +1,56 @@
+package stats
+
+import "math"
+
+// Zipf samples from a Zipf(s) distribution over {0, 1, ..., n-1}:
+// P(k) proportional to 1/(k+1)^s. It precomputes the CDF and samples by
+// binary search, so construction is O(n) and each draw is O(log n).
+//
+// Zipf-distributed block popularity is the standard model for cache
+// reference streams with temporal locality; the synthetic SPEC-like
+// workload generators use it to shape their working-set reuse.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf creates a Zipf sampler over n elements with exponent s >= 0.
+// s == 0 degenerates to the uniform distribution.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf called with n <= 0")
+	}
+	if s < 0 {
+		panic("stats: NewZipf called with s < 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	inv := 1 / sum
+	for k := range cdf {
+		cdf[k] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// N returns the number of elements in the sampler's support.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Draw returns the next Zipf-distributed index in [0, n).
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

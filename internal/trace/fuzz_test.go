@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace reader: it must never
+// panic, returning io.EOF / ErrUnexpectedEOF / a parse error instead.
+func FuzzReader(f *testing.F) {
+	g := MustNew(simpleWorkload(), 3)
+	var seedBuf bytes.Buffer
+	if err := Record(g, 50, &seedBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte("PCSTRC01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var ins Instr
+		for i := 0; i < 10000; i++ {
+			if err := r.Read(&ins); err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF {
+					// Parse errors are fine; panics are not (implicit).
+					_ = err
+				}
+				return
+			}
+		}
+	})
+}

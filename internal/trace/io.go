@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format: a small header followed by one varint-encoded
+// record per instruction. PCs and data addresses are delta-encoded
+// (zig-zag) against the previous instruction, which compresses the
+// mostly-sequential fetch stream well.
+
+const traceMagic = "PCSTRC01"
+
+// Writer serialises an instruction stream.
+type Writer struct {
+	w        *bufio.Writer
+	prevPC   uint64
+	prevAddr uint64
+	wrote    bool
+	count    uint64
+}
+
+// NewWriter starts a trace on w, writing the header immediately.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write appends one instruction record.
+func (t *Writer) Write(ins Instr) error {
+	var buf [binary.MaxVarintLen64*2 + 1]byte
+	flags := byte(0)
+	if ins.HasMem {
+		flags |= 1
+	}
+	if ins.Write {
+		flags |= 2
+	}
+	buf[0] = flags
+	n := 1
+	n += binary.PutUvarint(buf[n:], zigzag(int64(ins.PC)-int64(t.prevPC)))
+	if ins.HasMem {
+		n += binary.PutUvarint(buf[n:], zigzag(int64(ins.Addr)-int64(t.prevAddr)))
+		t.prevAddr = ins.Addr
+	}
+	t.prevPC = ins.PC
+	t.wrote = true
+	t.count++
+	_, err := t.w.Write(buf[:n])
+	return err
+}
+
+// Count returns the number of records written.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Flush flushes buffered records to the underlying writer.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader replays a serialised trace.
+type Reader struct {
+	r        *bufio.Reader
+	prevPC   uint64
+	prevAddr uint64
+}
+
+// NewReader validates the header and prepares to read records.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read fills the next instruction; it returns io.EOF at end of trace.
+func (t *Reader) Read(ins *Instr) error {
+	flags, err := t.r.ReadByte()
+	if err != nil {
+		return err // io.EOF passes through
+	}
+	dpc, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return badEOF(err)
+	}
+	t.prevPC = uint64(int64(t.prevPC) + unzigzag(dpc))
+	ins.PC = t.prevPC
+	ins.HasMem = flags&1 != 0
+	ins.Write = flags&2 != 0
+	ins.Addr = 0
+	if ins.HasMem {
+		da, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			return badEOF(err)
+		}
+		t.prevAddr = uint64(int64(t.prevAddr) + unzigzag(da))
+		ins.Addr = t.prevAddr
+	}
+	return nil
+}
+
+// badEOF converts a mid-record EOF into ErrUnexpectedEOF.
+func badEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Record materialises n instructions from g into w.
+func Record(g Generator, n uint64, w io.Writer) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	var ins Instr
+	for i := uint64(0); i < n; i++ {
+		g.Next(&ins)
+		if err := tw.Write(ins); err != nil {
+			return fmt.Errorf("trace: record %d: %w", i, err)
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// ReplayGenerator adapts a serialised trace (Reader) to the Generator
+// interface so a recorded run can drive the simulator exactly like a
+// synthetic workload. When the trace is exhausted the generator either
+// loops (re-reads from a fresh reader supplied by reopen) or, if reopen
+// is nil, keeps returning the final instruction — callers normally size
+// their runs to the recorded length.
+type ReplayGenerator struct {
+	name   string
+	r      *Reader
+	reopen func() (*Reader, error)
+	last   Instr
+	err    error
+}
+
+// NewReplay wraps an open trace reader. reopen, if non-nil, is invoked
+// to restart the stream when it ends (e.g. re-opening the file).
+func NewReplay(name string, r *Reader, reopen func() (*Reader, error)) *ReplayGenerator {
+	return &ReplayGenerator{name: name, r: r, reopen: reopen}
+}
+
+// Name implements Generator.
+func (g *ReplayGenerator) Name() string { return g.name }
+
+// Err returns the first non-EOF error encountered while reading.
+func (g *ReplayGenerator) Err() error { return g.err }
+
+// Next implements Generator.
+func (g *ReplayGenerator) Next(ins *Instr) {
+	if g.err != nil {
+		*ins = g.last
+		return
+	}
+	err := g.r.Read(ins)
+	if err == nil {
+		g.last = *ins
+		return
+	}
+	if err == io.EOF && g.reopen != nil {
+		r2, rerr := g.reopen()
+		if rerr != nil {
+			g.err = fmt.Errorf("trace: replay restart: %w", rerr)
+			*ins = g.last
+			return
+		}
+		g.r = r2
+		if err := g.r.Read(ins); err == nil {
+			g.last = *ins
+			return
+		}
+		g.err = fmt.Errorf("trace: empty trace on restart")
+		*ins = g.last
+		return
+	}
+	if err != io.EOF {
+		g.err = err
+	}
+	*ins = g.last
+}

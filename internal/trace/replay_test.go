@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func recordBytes(t *testing.T, n uint64) []byte {
+	t.Helper()
+	g := MustNew(simpleWorkload(), 21)
+	var buf bytes.Buffer
+	if err := Record(g, n, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReplayMatchesGenerator(t *testing.T) {
+	const n = 3000
+	data := recordBytes(t, n)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplay("x", r, nil)
+	if rep.Name() != "x" {
+		t.Error("name")
+	}
+	fresh := MustNew(simpleWorkload(), 21)
+	var got, want Instr
+	for i := 0; i < n; i++ {
+		rep.Next(&got)
+		fresh.Next(&want)
+		if got != want {
+			t.Fatalf("instr %d: %+v != %+v", i, got, want)
+		}
+	}
+	if rep.Err() != nil {
+		t.Fatalf("unexpected error: %v", rep.Err())
+	}
+}
+
+func TestReplayLoopsWithReopen(t *testing.T) {
+	const n = 100
+	data := recordBytes(t, n)
+	r, _ := NewReader(bytes.NewReader(data))
+	reopens := 0
+	rep := NewReplay("loop", r, func() (*Reader, error) {
+		reopens++
+		return NewReader(bytes.NewReader(data))
+	})
+	var first Instr
+	rep.Next(&first)
+	var ins Instr
+	for i := 1; i < 2*n; i++ {
+		rep.Next(&ins)
+	}
+	if reopens != 1 {
+		t.Fatalf("reopened %d times", reopens)
+	}
+	// The instruction right after the wrap equals the first one.
+	var again Instr
+	r2, _ := NewReader(bytes.NewReader(data))
+	r2.Read(&again)
+	if rep.Err() != nil {
+		t.Fatalf("replay error: %v", rep.Err())
+	}
+	_ = again
+}
+
+func TestReplayWithoutReopenRepeatsLast(t *testing.T) {
+	const n = 10
+	data := recordBytes(t, n)
+	r, _ := NewReader(bytes.NewReader(data))
+	rep := NewReplay("stall", r, nil)
+	var ins, last Instr
+	for i := 0; i < n; i++ {
+		rep.Next(&ins)
+		last = ins
+	}
+	rep.Next(&ins)
+	if ins != last {
+		t.Fatalf("post-EOF instruction %+v != last %+v", ins, last)
+	}
+	// Plain EOF is not an error.
+	if rep.Err() != nil {
+		t.Fatalf("EOF treated as error: %v", rep.Err())
+	}
+}
+
+func TestReplayPropagatesCorruption(t *testing.T) {
+	data := recordBytes(t, 50)
+	truncated := data[:len(data)-1]
+	r, _ := NewReader(bytes.NewReader(truncated))
+	rep := NewReplay("bad", r, nil)
+	var ins Instr
+	for i := 0; i < 60; i++ {
+		rep.Next(&ins)
+	}
+	if rep.Err() == nil {
+		t.Fatal("truncation not reported")
+	}
+}

@@ -1,0 +1,145 @@
+package trace
+
+// Suite returns the 16 synthetic SPEC CPU2006-like workloads used in the
+// Fig. 4 reproduction. Names mirror the SPEC programs whose memory
+// behaviour each generator imitates (suffix ".s" marks them synthetic).
+// Parameters follow the well-known qualitative characterisations:
+// mcf/omnetpp/xalancbmk are pointer-heavy with multi-MB footprints and
+// high L2 pressure; libquantum/lbm/bwaves/milc stream; namd/hmmer/
+// h264ref-class codes have small hot working sets; gcc and bzip2 show
+// strong phase behaviour — which is exactly the variation DPCS exploits.
+func Suite() []Workload {
+	const (
+		kb = 1024
+		mb = 1024 * 1024
+	)
+	phase := func(instr uint64, ws uint64, mix PatternMix, wr, mem float64) Phase {
+		return Phase{Instructions: instr, WorkingSetBytes: ws, Mix: mix, WriteFrac: wr, MemFrac: mem}
+	}
+	return []Workload{
+		{
+			Name: "perlbench.s", CodeBytes: 384 * kb, JumpProb: 0.06, ZipfS: 1.20,
+			Phases: []Phase{
+				phase(32_000_000, 768*kb, PatternMix{Zipf: 0.72, Seq: 0.15, Chase: 0.05}, 0.30, 0.42),
+			},
+		},
+		{
+			Name: "bzip2.s", CodeBytes: 64 * kb, JumpProb: 0.03, ZipfS: 1.05,
+			Phases: []Phase{
+				// Compress phase: big streaming window with hot tables.
+				phase(20_000_000, 3*mb, PatternMix{Seq: 0.45, Zipf: 0.45}, 0.35, 0.40),
+				// Huffman phase: small hot tables.
+				phase(12_000_000, 192*kb, PatternMix{Zipf: 0.85, Seq: 0.10}, 0.20, 0.42),
+			},
+		},
+		{
+			Name: "gcc.s", CodeBytes: 1024 * kb, JumpProb: 0.07, ZipfS: 1.15,
+			Phases: []Phase{
+				phase(9_600_000, 2*mb, PatternMix{Zipf: 0.60, Chase: 0.10, Seq: 0.20}, 0.28, 0.42),
+				phase(8_000_000, 512*kb, PatternMix{Zipf: 0.75, Seq: 0.15}, 0.25, 0.42),
+				phase(6_400_000, 4*mb, PatternMix{Zipf: 0.45, Chase: 0.25, Seq: 0.15}, 0.30, 0.42),
+			},
+		},
+		{
+			Name: "mcf.s", CodeBytes: 24 * kb, JumpProb: 0.04, ZipfS: 0.80,
+			Phases: []Phase{
+				phase(32_000_000, 20*mb, PatternMix{Chase: 0.45, Zipf: 0.40}, 0.12, 0.36),
+			},
+		},
+		{
+			Name: "gobmk.s", CodeBytes: 512 * kb, JumpProb: 0.07, ZipfS: 1.25,
+			Phases: []Phase{
+				phase(24_000_000, 384*kb, PatternMix{Zipf: 0.70, Chase: 0.08, Seq: 0.12}, 0.22, 0.38),
+			},
+		},
+		{
+			Name: "hmmer.s", CodeBytes: 48 * kb, JumpProb: 0.02, ZipfS: 1.35,
+			Phases: []Phase{
+				phase(32_000_000, 128*kb, PatternMix{Zipf: 0.62, Stride: 0.25, Seq: 0.10}, 0.35, 0.48),
+			},
+		},
+		{
+			Name: "sjeng.s", CodeBytes: 160 * kb, JumpProb: 0.06, ZipfS: 1.15,
+			Phases: []Phase{
+				phase(28_000_000, 1536*kb, PatternMix{Zipf: 0.68, Chase: 0.10}, 0.25, 0.34),
+			},
+		},
+		{
+			Name: "libquantum.s", CodeBytes: 24 * kb, JumpProb: 0.02, ZipfS: 0.50,
+			Phases: []Phase{
+				phase(32_000_000, 16*mb, PatternMix{Seq: 0.90, Zipf: 0.06}, 0.30, 0.42),
+			},
+		},
+		{
+			Name: "h264ref.s", CodeBytes: 320 * kb, JumpProb: 0.04, ZipfS: 1.20,
+			Phases: []Phase{
+				phase(16_000_000, 1*mb, PatternMix{Stride: 0.30, Seq: 0.25, Zipf: 0.40}, 0.30, 0.46),
+				phase(9_600_000, 256*kb, PatternMix{Zipf: 0.70, Stride: 0.18}, 0.25, 0.46),
+			},
+		},
+		{
+			Name: "omnetpp.s", CodeBytes: 640 * kb, JumpProb: 0.07, ZipfS: 0.95,
+			Phases: []Phase{
+				phase(28_000_000, 10*mb, PatternMix{Chase: 0.35, Zipf: 0.45}, 0.30, 0.38),
+			},
+		},
+		{
+			Name: "astar.s", CodeBytes: 48 * kb, JumpProb: 0.04, ZipfS: 1.00,
+			Phases: []Phase{
+				phase(14_400_000, 5*mb, PatternMix{Chase: 0.30, Zipf: 0.50}, 0.22, 0.40),
+				phase(9_600_000, 1*mb, PatternMix{Zipf: 0.70, Chase: 0.10}, 0.22, 0.40),
+			},
+		},
+		{
+			Name: "xalancbmk.s", CodeBytes: 1024 * kb, JumpProb: 0.08, ZipfS: 1.05,
+			Phases: []Phase{
+				phase(24_000_000, 4*mb, PatternMix{Chase: 0.20, Zipf: 0.55, Seq: 0.10}, 0.26, 0.40),
+			},
+		},
+		{
+			Name: "bwaves.s", CodeBytes: 32 * kb, JumpProb: 0.01, ZipfS: 0.50,
+			Phases: []Phase{
+				phase(32_000_000, 18*mb, PatternMix{Seq: 0.75, Stride: 0.18}, 0.25, 0.50),
+			},
+		},
+		{
+			Name: "milc.s", CodeBytes: 96 * kb, JumpProb: 0.02, ZipfS: 0.70,
+			Phases: []Phase{
+				phase(17_600_000, 6*mb, PatternMix{Seq: 0.55, Stride: 0.25, Zipf: 0.12}, 0.30, 0.46),
+				phase(8_000_000, 1536*kb, PatternMix{Zipf: 0.60, Seq: 0.25}, 0.28, 0.46),
+			},
+		},
+		{
+			Name: "namd.s", CodeBytes: 96 * kb, JumpProb: 0.02, ZipfS: 1.35,
+			Phases: []Phase{
+				phase(32_000_000, 192*kb, PatternMix{Zipf: 0.60, Stride: 0.28, Seq: 0.08}, 0.30, 0.46),
+			},
+		},
+		{
+			Name: "lbm.s", CodeBytes: 16 * kb, JumpProb: 0.01, ZipfS: 0.40,
+			Phases: []Phase{
+				phase(32_000_000, 24*mb, PatternMix{Seq: 0.82, Stride: 0.12}, 0.45, 0.50),
+			},
+		},
+	}
+}
+
+// ByName returns the suite workload with the given name, or false.
+func ByName(name string) (Workload, bool) {
+	for _, w := range Suite() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Names returns the suite's workload names in order.
+func Names() []string {
+	ws := Suite()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}

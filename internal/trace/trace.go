@@ -1,0 +1,248 @@
+// Package trace provides the memory-reference workloads that drive the
+// architectural simulation. The paper ran 16 SPEC CPU2006 benchmarks
+// under gem5; SPEC inputs and an out-of-order Alpha model are not
+// available here, so we substitute 16 synthetic SPEC-like generators
+// whose parameters (working-set size, code footprint, access mix,
+// phase behaviour) are chosen to span the same space the paper's policy
+// exploits: small vs. large working sets, streaming vs. pointer-chasing
+// access patterns, and within-run phase changes (see DESIGN.md §2).
+//
+// Generators are deterministic given a seed, and a recorded trace can be
+// serialised/replayed bit-exactly (Writer/Reader).
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Instr is one executed instruction as seen by the memory hierarchy: an
+// instruction fetch address plus an optional data access.
+type Instr struct {
+	// PC is the instruction fetch address.
+	PC uint64
+	// HasMem indicates the instruction performs a data access.
+	HasMem bool
+	// Addr is the data address (valid when HasMem).
+	Addr uint64
+	// Write indicates the data access is a store.
+	Write bool
+}
+
+// Generator produces an instruction stream.
+type Generator interface {
+	// Name identifies the workload.
+	Name() string
+	// Next fills in the next instruction.
+	Next(i *Instr)
+}
+
+// PatternMix describes how a phase's data accesses are distributed.
+// The four fractions must sum to at most 1; the remainder is uniform
+// random over the working set (pointer-chase-like, locality-free).
+type PatternMix struct {
+	// Seq is the fraction of streaming accesses (unit-stride walk
+	// through the working set — spatial locality, compulsory misses).
+	Seq float64
+	// Stride is the fraction of constant-stride accesses (row walks of
+	// 2D data, e.g. video or matrix codes).
+	Stride float64
+	// Zipf is the fraction of Zipf-popular block accesses (temporal
+	// locality / hot structures).
+	Zipf float64
+	// Chase is the fraction of dependent pointer-chase accesses
+	// (random walk over a linked structure spanning the working set).
+	Chase float64
+}
+
+func (m PatternMix) validate() error {
+	sum := m.Seq + m.Stride + m.Zipf + m.Chase
+	if m.Seq < 0 || m.Stride < 0 || m.Zipf < 0 || m.Chase < 0 || sum > 1+1e-9 {
+		return fmt.Errorf("trace: invalid pattern mix %+v", m)
+	}
+	return nil
+}
+
+// Phase is one execution phase of a workload.
+type Phase struct {
+	// Instructions is the phase length; the generator cycles through
+	// phases forever, so totals are controlled by the simulator.
+	Instructions uint64
+	// WorkingSetBytes is the data footprint touched in this phase.
+	WorkingSetBytes uint64
+	// Mix shapes the accesses.
+	Mix PatternMix
+	// WriteFrac is the store fraction of data accesses.
+	WriteFrac float64
+	// MemFrac is the fraction of instructions that access data memory.
+	MemFrac float64
+}
+
+// Workload describes a synthetic benchmark.
+type Workload struct {
+	// Name is the SPEC-like label.
+	Name string
+	// CodeBytes is the instruction footprint (drives L1I behaviour).
+	CodeBytes uint64
+	// JumpProb is the probability an instruction redirects fetch to a
+	// random function entry within the code footprint.
+	JumpProb float64
+	// ZipfS is the skew of the Zipf block popularity (higher = hotter).
+	ZipfS float64
+	// Phases is the repeating phase schedule (at least one).
+	Phases []Phase
+}
+
+// Validate checks the workload definition.
+func (w Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("trace: workload missing name")
+	}
+	if w.CodeBytes == 0 {
+		return fmt.Errorf("trace: %s: zero code footprint", w.Name)
+	}
+	if len(w.Phases) == 0 {
+		return fmt.Errorf("trace: %s: no phases", w.Name)
+	}
+	for i, p := range w.Phases {
+		if p.Instructions == 0 || p.WorkingSetBytes == 0 {
+			return fmt.Errorf("trace: %s phase %d: zero length or footprint", w.Name, i)
+		}
+		if err := p.Mix.validate(); err != nil {
+			return fmt.Errorf("trace: %s phase %d: %v", w.Name, i, err)
+		}
+		if p.WriteFrac < 0 || p.WriteFrac > 1 || p.MemFrac < 0 || p.MemFrac > 1 {
+			return fmt.Errorf("trace: %s phase %d: fractions out of range", w.Name, i)
+		}
+	}
+	return nil
+}
+
+// synthetic is the Generator implementation for a Workload.
+type synthetic struct {
+	w   Workload
+	rng *stats.RNG
+
+	// Address-space layout: code at codeBase, data at dataBase; the two
+	// never overlap.
+	codeBase, dataBase uint64
+
+	pc         uint64
+	phaseIdx   int
+	phaseLeft  uint64
+	seqPtr     uint64
+	stridePtr  uint64
+	strideStep uint64
+	chasePtr   uint64
+	zipf       *stats.Zipf
+}
+
+const blockBytes = 64 // generators think in cache-block-sized units
+
+// New builds a deterministic generator for the workload.
+func New(w Workload, seed uint64) (Generator, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	// Fold the name into the seed so every workload gets its own stream.
+	h := seed
+	for _, c := range []byte(w.Name) {
+		h = h*1099511628211 + uint64(c)
+	}
+	g := &synthetic{
+		w:        w,
+		rng:      stats.NewRNG(h),
+		codeBase: 0x0040_0000,
+		dataBase: 0x1000_0000,
+	}
+	g.pc = g.codeBase
+	g.enterPhase(0)
+	return g, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(w Workload, seed uint64) Generator {
+	g, err := New(w, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *synthetic) Name() string { return g.w.Name }
+
+func (g *synthetic) enterPhase(i int) {
+	g.phaseIdx = i
+	p := g.w.Phases[i]
+	g.phaseLeft = p.Instructions
+	nblocks := int(p.WorkingSetBytes / blockBytes)
+	if nblocks < 1 {
+		nblocks = 1
+	}
+	g.zipf = stats.NewZipf(g.rng.Split(), nblocks, g.w.ZipfS)
+	g.seqPtr = 0
+	g.stridePtr = 0
+	// A stride that is co-prime-ish with the set count: 5 blocks.
+	g.strideStep = 5 * blockBytes
+	g.chasePtr = uint64(g.rng.Intn(nblocks)) * blockBytes
+}
+
+func (g *synthetic) phase() Phase { return g.w.Phases[g.phaseIdx] }
+
+// Next implements Generator.
+func (g *synthetic) Next(ins *Instr) {
+	if g.phaseLeft == 0 {
+		g.enterPhase((g.phaseIdx + 1) % len(g.w.Phases))
+	}
+	g.phaseLeft--
+	p := g.phase()
+
+	// Instruction fetch: sequential with occasional jumps to a random
+	// 64-byte-aligned target inside the code footprint.
+	if g.rng.Bool(g.w.JumpProb) {
+		g.pc = g.codeBase + uint64(g.rng.Intn(int(g.w.CodeBytes/blockBytes)))*blockBytes
+	} else {
+		g.pc += 4
+		if g.pc >= g.codeBase+g.w.CodeBytes {
+			g.pc = g.codeBase
+		}
+	}
+	ins.PC = g.pc
+	ins.HasMem = false
+	ins.Addr = 0
+	ins.Write = false
+
+	if !g.rng.Bool(p.MemFrac) {
+		return
+	}
+	ws := p.WorkingSetBytes
+	var off uint64
+	u := g.rng.Float64()
+	switch {
+	case u < p.Mix.Seq:
+		g.seqPtr += 8 // 8-byte stride: eight touches per 64 B block
+		if g.seqPtr >= ws {
+			g.seqPtr = 0
+		}
+		off = g.seqPtr
+	case u < p.Mix.Seq+p.Mix.Stride:
+		g.stridePtr += g.strideStep
+		if g.stridePtr >= ws {
+			g.stridePtr %= blockBytes // restart with a small offset drift
+		}
+		off = g.stridePtr
+	case u < p.Mix.Seq+p.Mix.Stride+p.Mix.Zipf:
+		off = uint64(g.zipf.Draw()) * blockBytes
+	case u < p.Mix.Seq+p.Mix.Stride+p.Mix.Zipf+p.Mix.Chase:
+		// Dependent random walk: next node anywhere in the working set.
+		g.chasePtr = uint64(g.rng.Intn(int(ws/blockBytes))) * blockBytes
+		off = g.chasePtr
+	default:
+		off = uint64(g.rng.Intn(int(ws/blockBytes)))*blockBytes +
+			uint64(g.rng.Intn(blockBytes/8))*8
+	}
+	ins.HasMem = true
+	ins.Addr = g.dataBase + off
+	ins.Write = g.rng.Bool(p.WriteFrac)
+}

@@ -1,0 +1,311 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func simpleWorkload() Workload {
+	return Workload{
+		Name: "test", CodeBytes: 4096, JumpProb: 0.05, ZipfS: 1.0,
+		Phases: []Phase{
+			{Instructions: 1000, WorkingSetBytes: 64 * 1024,
+				Mix: PatternMix{Seq: 0.3, Zipf: 0.4}, WriteFrac: 0.3, MemFrac: 0.5},
+			{Instructions: 500, WorkingSetBytes: 8 * 1024,
+				Mix: PatternMix{Zipf: 0.8}, WriteFrac: 0.2, MemFrac: 0.4},
+		},
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	if err := simpleWorkload().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mod := func(f func(*Workload)) Workload {
+		w := simpleWorkload()
+		f(&w)
+		return w
+	}
+	bads := []Workload{
+		mod(func(w *Workload) { w.Name = "" }),
+		mod(func(w *Workload) { w.CodeBytes = 0 }),
+		mod(func(w *Workload) { w.Phases = nil }),
+		mod(func(w *Workload) { w.Phases[0].Instructions = 0 }),
+		mod(func(w *Workload) { w.Phases[0].WorkingSetBytes = 0 }),
+		mod(func(w *Workload) { w.Phases[0].Mix = PatternMix{Seq: 0.9, Zipf: 0.9} }),
+		mod(func(w *Workload) { w.Phases[0].Mix = PatternMix{Seq: -0.1} }),
+		mod(func(w *Workload) { w.Phases[0].WriteFrac = 1.5 }),
+		mod(func(w *Workload) { w.Phases[0].MemFrac = -0.1 }),
+	}
+	for i, w := range bads {
+		if err := w.Validate(); err == nil {
+			t.Errorf("bad workload %d validated", i)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := MustNew(simpleWorkload(), 42)
+	b := MustNew(simpleWorkload(), 42)
+	var ia, ib Instr
+	for i := 0; i < 10000; i++ {
+		a.Next(&ia)
+		b.Next(&ib)
+		if ia != ib {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, ia, ib)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	a := MustNew(simpleWorkload(), 1)
+	b := MustNew(simpleWorkload(), 2)
+	var ia, ib Instr
+	same := 0
+	for i := 0; i < 1000; i++ {
+		a.Next(&ia)
+		b.Next(&ib)
+		if ia == ib {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Errorf("different seeds nearly identical: %d/1000", same)
+	}
+}
+
+func TestAddressRanges(t *testing.T) {
+	w := simpleWorkload()
+	g := MustNew(w, 7)
+	var ins Instr
+	for i := 0; i < 20000; i++ {
+		g.Next(&ins)
+		if ins.PC < 0x0040_0000 || ins.PC >= 0x0040_0000+w.CodeBytes {
+			t.Fatalf("PC %#x outside code footprint", ins.PC)
+		}
+		if ins.HasMem {
+			if ins.Addr < 0x1000_0000 {
+				t.Fatalf("data address %#x below data base", ins.Addr)
+			}
+			off := ins.Addr - 0x1000_0000
+			if off >= 64*1024 {
+				t.Fatalf("data offset %#x outside largest working set", off)
+			}
+		} else if ins.Addr != 0 || ins.Write {
+			t.Fatal("non-mem instruction carries data fields")
+		}
+	}
+}
+
+func TestMemFracRespected(t *testing.T) {
+	w := simpleWorkload()
+	w.Phases = w.Phases[:1]
+	w.Phases[0].Instructions = 1 << 30 // stay in one phase
+	g := MustNew(w, 9)
+	var ins Instr
+	mem := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		g.Next(&ins)
+		if ins.HasMem {
+			mem++
+		}
+	}
+	got := float64(mem) / n
+	if got < 0.45 || got > 0.55 {
+		t.Errorf("mem fraction %v, want ~0.5", got)
+	}
+}
+
+func TestWriteFracRespected(t *testing.T) {
+	w := simpleWorkload()
+	w.Phases = w.Phases[:1]
+	w.Phases[0].Instructions = 1 << 30
+	g := MustNew(w, 10)
+	var ins Instr
+	mem, writes := 0, 0
+	for i := 0; i < 100000; i++ {
+		g.Next(&ins)
+		if ins.HasMem {
+			mem++
+			if ins.Write {
+				writes++
+			}
+		}
+	}
+	got := float64(writes) / float64(mem)
+	if got < 0.25 || got > 0.35 {
+		t.Errorf("write fraction %v, want ~0.3", got)
+	}
+}
+
+func TestPhaseCycling(t *testing.T) {
+	w := simpleWorkload() // phases of 1000 and 500 instructions
+	g := MustNew(w, 11)
+	var ins Instr
+	// After phase 1 (1000 instr), addresses must be confined to the
+	// 8 KB working set of phase 2.
+	for i := 0; i < 1000; i++ {
+		g.Next(&ins)
+	}
+	for i := 0; i < 500; i++ {
+		g.Next(&ins)
+		if ins.HasMem && ins.Addr-0x1000_0000 >= 8*1024 {
+			t.Fatalf("phase-2 access %#x outside 8 KB working set", ins.Addr)
+		}
+	}
+	// Then back to phase 1: eventually an access beyond 8 KB appears.
+	seenBig := false
+	for i := 0; i < 1000; i++ {
+		g.Next(&ins)
+		if ins.HasMem && ins.Addr-0x1000_0000 >= 8*1024 {
+			seenBig = true
+		}
+	}
+	if !seenBig {
+		t.Error("phase cycle did not return to the large working set")
+	}
+}
+
+func TestSuiteValid(t *testing.T) {
+	ws := Suite()
+	if len(ws) != 16 {
+		t.Fatalf("suite has %d workloads, want 16 (as the paper)", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if err := w.Validate(); err != nil {
+			t.Errorf("workload %s: %v", w.Name, err)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate name %s", w.Name)
+		}
+		seen[w.Name] = true
+		if _, err := New(w, 1); err != nil {
+			t.Errorf("workload %s: generator: %v", w.Name, err)
+		}
+	}
+}
+
+func TestSuiteSpansWorkingSetRange(t *testing.T) {
+	// DPCS exploits working-set variation: the suite must include both
+	// cache-resident and memory-bound footprints.
+	small, large := false, false
+	for _, w := range Suite() {
+		for _, p := range w.Phases {
+			if p.WorkingSetBytes <= 256*1024 {
+				small = true
+			}
+			if p.WorkingSetBytes >= 8*1024*1024 {
+				large = true
+			}
+		}
+	}
+	if !small || !large {
+		t.Error("suite lacks working-set diversity")
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if _, ok := ByName("mcf.s"); !ok {
+		t.Error("mcf.s not found")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("bogus name found")
+	}
+	if len(Names()) != 16 {
+		t.Error("Names length")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	g := MustNew(simpleWorkload(), 13)
+	var buf bytes.Buffer
+	const n = 5000
+	if err := Record(g, n, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Replay must match a fresh generator with the same seed.
+	g2 := MustNew(simpleWorkload(), 13)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want Instr
+	for i := 0; i < n; i++ {
+		if err := r.Read(&got); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		g2.Next(&want)
+		if got != want {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if err := r.Read(&got); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReaderDetectsTruncation(t *testing.T) {
+	g := MustNew(simpleWorkload(), 14)
+	var buf bytes.Buffer
+	if err := Record(g, 100, &buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ins Instr
+	var readErr error
+	for i := 0; i < 100; i++ {
+		if readErr = r.Read(&ins); readErr != nil {
+			break
+		}
+	}
+	if readErr == nil {
+		t.Fatal("truncated trace read fully")
+	}
+	if !errors.Is(readErr, io.ErrUnexpectedEOF) && !errors.Is(readErr, io.EOF) {
+		t.Fatalf("unexpected error: %v", readErr)
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Write(Instr{PC: uint64(i * 4)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 5 {
+		t.Errorf("count %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, d := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(d)); got != d {
+			t.Errorf("zigzag round trip %d -> %d", d, got)
+		}
+	}
+}

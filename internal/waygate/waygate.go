@@ -1,0 +1,62 @@
+// Package waygate models the generic way-granularity power-gating
+// baseline of Fig. 3a: capacity is reduced by switching off whole ways
+// at nominal voltage (as in Gated-Vdd-style resizing), giving a linear
+// power/effective-capacity trade-off — the straight line the proposed
+// mechanism beats at every capacity point.
+package waygate
+
+import (
+	"repro/internal/cacti"
+	"repro/internal/device"
+)
+
+// Model evaluates way-based gating on a cache organisation.
+type Model struct {
+	CM *cacti.Model
+}
+
+// New wraps a cacti model.
+func New(cm *cacti.Model) *Model { return &Model{CM: cm} }
+
+// StaticPower returns total static power with activeWays of the cache's
+// ways powered (the rest gated to ~zero), everything at nominal VDD.
+func (m *Model) StaticPower(activeWays int) float64 {
+	org := m.CM.Org
+	if activeWays < 0 {
+		activeWays = 0
+	}
+	if activeWays > org.Assoc {
+		activeWays = org.Assoc
+	}
+	t := m.CM.Tech
+	frac := float64(activeWays) / float64(org.Assoc)
+	dataCells := float64(org.Blocks()*org.BlockBits()) * frac
+	cellW := dataCells * m.CM.Params.CellLeakEquiv * t.LeakagePower(device.RVT, t.VDDNom)
+	// Tag and periphery stay powered (tags of gated ways could be gated
+	// too, but the dominant term is the data array; keeping the floor
+	// shared across schemes makes Fig. 3a an apples-to-apples plot).
+	base := m.CM.StaticPower(t.VDDNom, 1)
+	return cellW + base.DataPeripheryW + base.TagW
+}
+
+// EffectiveCapacity returns the usable-block fraction with activeWays
+// powered: exactly linear.
+func (m *Model) EffectiveCapacity(activeWays int) float64 {
+	if activeWays < 0 {
+		activeWays = 0
+	}
+	if activeWays > m.CM.Org.Assoc {
+		activeWays = m.CM.Org.Assoc
+	}
+	return float64(activeWays) / float64(m.CM.Org.Assoc)
+}
+
+// PowerCapacityCurve returns (capacity, power) pairs for every possible
+// way count, 0..assoc.
+func (m *Model) PowerCapacityCurve() (caps, watts []float64) {
+	for w := 0; w <= m.CM.Org.Assoc; w++ {
+		caps = append(caps, m.EffectiveCapacity(w))
+		watts = append(watts, m.StaticPower(w))
+	}
+	return caps, watts
+}
