@@ -1,0 +1,31 @@
+# Development entry points. `make check` is the full gate: vet plus the
+# race-enabled test suite (the campaign runner's worker pool is
+# exercised under the race detector by internal/expers and
+# internal/runner tests).
+
+GO ?= go
+
+.PHONY: all build vet test race check figures clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# tier-1 suite, as the driver runs it
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+figures:
+	$(GO) run ./cmd/pcs-figures
+
+clean:
+	$(GO) clean ./...

@@ -1,27 +1,32 @@
 // Command pcs-multicore runs the multi-core extension (the paper's
 // Sec. 5 future work): N cores with private power/capacity-scaled L1s
-// over one shared, coherently-maintained, PCS-managed L2. It sweeps the
-// core count and reports energy savings, execution overhead, L2 pressure
-// and coherence traffic for baseline, SPCS and DPCS.
+// over one shared, coherently-maintained, PCS-managed L2. The core-count
+// × policy grid is expressed as a campaign for internal/runner, so the
+// independent simulations fan out across -workers cores; it reports
+// energy savings, execution overhead, L2 pressure and coherence traffic
+// for baseline, SPCS and DPCS.
 //
 // Usage:
 //
 //	pcs-multicore [-cores 1,2,4] [-bench name] [-instr N] [-warmup N]
 //	              [-shared frac] [-config A|B] [-seed S]
+//	              [-workers N] [-json] [-runs dir]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/cpusim"
-	"repro/internal/multicore"
+	"repro/internal/expers"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -36,6 +41,10 @@ func main() {
 		shared    = flag.Float64("shared", 0.10, "fraction of data accesses to the shared region")
 		config    = flag.String("config", "A", "system configuration: A or B")
 		seed      = flag.Uint64("seed", 1, "seed")
+		workers   = flag.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS)")
+		jsonOut   = flag.Bool("json", false, "emit the table as JSON instead of text")
+		runsRoot  = flag.String("runs", "", "archive campaign records under this directory (e.g. runs)")
+		progress  = flag.Bool("progress", false, "log campaign progress to stderr")
 	)
 	flag.Parse()
 
@@ -43,16 +52,6 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown benchmark %q (known: %v)", *bench, trace.Names())
 	}
-	var sysCfg cpusim.SystemConfig
-	switch *config {
-	case "A", "a":
-		sysCfg = cpusim.ConfigA()
-	case "B", "b":
-		sysCfg = cpusim.ConfigB()
-	default:
-		log.Fatalf("unknown config %q", *config)
-	}
-
 	var counts []int
 	for _, p := range strings.Split(*coresFlag, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
@@ -62,37 +61,92 @@ func main() {
 		counts = append(counts, n)
 	}
 
-	t := report.NewTable(
-		fmt.Sprintf("Multi-core PCS: %s on Config %s, %d instr/core, %.0f%% shared data",
-			w.Name, sysCfg.Name, *instr, *shared*100),
-		"Cores", "Policy", "Cycles (max core)", "Exec ovh %", "L2 misses", "Coh. invals",
-		"Cache E (mJ)", "E saving %")
+	// One campaign job per (core count, policy) grid cell. Every cell
+	// pins the same seed so the three policies of one core count share
+	// fault maps and workloads, exactly as the old serial loop did.
+	modes := []string{"baseline", "SPCS", "DPCS"}
+	var jobs []runner.Spec
 	for _, n := range counts {
-		cfg := multicore.Config{
-			System:                 sysCfg,
-			Cores:                  n,
-			SharedBytes:            1 << 20,
-			SharedFrac:             *shared,
-			CoherencePenaltyCycles: 20,
-		}
-		var baseCycles uint64
-		var baseE float64
-		for _, mode := range []core.Mode{core.Baseline, core.SPCS, core.DPCS} {
-			r, err := multicore.Run(cfg, mode, w, *warmup, *instr, *seed)
+		for _, mode := range modes {
+			p := expers.MulticoreParams{
+				Config:                 *config,
+				Mode:                   mode,
+				Cores:                  n,
+				Bench:                  *bench,
+				WarmupInstr:            *warmup,
+				InstrPerCore:           *instr,
+				SharedBytes:            1 << 20,
+				SharedFrac:             *shared,
+				CoherencePenaltyCycles: 20,
+				Seed:                   *seed,
+			}
+			raw, err := json.Marshal(p)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if mode == core.Baseline {
-				baseCycles, baseE = r.GlobalCycles, r.TotalCacheEnergyJ
-			}
-			t.AddRow(n, mode.String(), r.GlobalCycles,
-				fmt.Sprintf("%+.2f", (float64(r.GlobalCycles)/float64(baseCycles)-1)*100),
-				r.L2.Misses, r.CoherenceInvalidations,
-				fmt.Sprintf("%.3f", r.TotalCacheEnergyJ*1e3),
-				fmt.Sprintf("%.1f", (1-r.TotalCacheEnergyJ/baseE)*100))
+			jobs = append(jobs, runner.Spec{
+				Kind: "multicore", Name: fmt.Sprintf("%dcore/%s", n, mode), Params: raw,
+			})
 		}
 	}
-	if err := t.Render(os.Stdout); err != nil {
+
+	opts := runner.Options{Workers: *workers}
+	if *runsRoot != "" {
+		dir, err := runner.NewRunDir(filepath.Join(*runsRoot, "multicore"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.ArtifactDir = dir
+	}
+	if *progress {
+		opts.OnProgress = func(p runner.Progress) {
+			log.Printf("%d/%d done (%.2f jobs/s, ETA %s)",
+				p.Completed(), p.Total, p.JobsPerSec, p.ETA.Round(1e8))
+		}
+	}
+	camp := runner.Campaign{Name: "multicore", Seed: *seed, Jobs: jobs}
+	res, err := runner.Run(context.Background(), expers.NewCampaignRegistry(), camp, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res.Results {
+		if r.Status != runner.StatusDone {
+			log.Fatalf("job %d (%s) %s: %s", r.Index, r.Name, r.Status, r.Error)
+		}
+	}
+	if res.ArtifactDir != "" {
+		log.Printf("records archived in %s", res.ArtifactDir)
+	}
+
+	cfgName := strings.ToUpper(*config)
+	t := report.NewTable(
+		fmt.Sprintf("Multi-core PCS: %s on Config %s, %d instr/core, %.0f%% shared data",
+			w.Name, cfgName, *instr, *shared*100),
+		"Cores", "Policy", "Cycles (max core)", "Exec ovh %", "L2 misses", "Coh. invals",
+		"Cache E (mJ)", "E saving %")
+	i := 0
+	for _, n := range counts {
+		var baseCycles uint64
+		var baseE float64
+		for _, mode := range modes {
+			out := res.Results[i].Output.(expers.MulticoreOutput)
+			i++
+			if mode == "baseline" {
+				baseCycles, baseE = out.GlobalCycles, out.TotalCacheEnergyJ
+			}
+			t.AddRow(n, out.Mode, out.GlobalCycles,
+				fmt.Sprintf("%+.2f", (float64(out.GlobalCycles)/float64(baseCycles)-1)*100),
+				out.L2Misses, out.CoherenceInvalidations,
+				fmt.Sprintf("%.3f", out.TotalCacheEnergyJ*1e3),
+				fmt.Sprintf("%.1f", (1-out.TotalCacheEnergyJ/baseE)*100))
+		}
+	}
+	if *jsonOut {
+		err = t.RenderJSON(os.Stdout)
+	} else {
+		err = t.Render(os.Stdout)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,78 @@
+// Command pcs-server exposes the campaign runner (internal/runner) as
+// an HTTP job service, so sweep and Monte-Carlo campaigns over the
+// repository's experiment kinds can be submitted, monitored and
+// harvested remotely:
+//
+//	POST   /campaigns               submit a campaign
+//	GET    /campaigns               list campaigns
+//	GET    /campaigns/{id}          status, progress, ETA
+//	GET    /campaigns/{id}/results  stream result records as JSON lines
+//	DELETE /campaigns/{id}          cancel a campaign
+//	GET    /metrics                 runner gauges (queued/running/done,
+//	                                worker utilization, jobs/sec)
+//
+// The server drains gracefully on SIGTERM/SIGINT: the listener stops
+// accepting requests, running campaigns are cancelled (simulations stop
+// mid-flight via context), and their workers are waited for.
+//
+// Usage:
+//
+//	pcs-server [-addr :8080] [-workers N] [-runs dir]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/expers"
+	"repro/internal/runner"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcs-server: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "default workers per campaign (0 = GOMAXPROCS)")
+		runsRoot = flag.String("runs", "runs", "artifact root directory (empty = no artifacts)")
+		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+
+	srv := runner.NewServer(expers.NewCampaignRegistry(), runner.ServerOptions{
+		DefaultWorkers: *workers,
+		ArtifactRoot:   *runsRoot,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (kinds: %v)", *addr, srv.Kinds())
+
+	select {
+	case err := <-errCh:
+		// Listener died before any signal; nothing to drain.
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("signal received, draining (grace %s)", *grace)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	// Cancel running campaigns and wait for their workers.
+	srv.Close()
+	log.Printf("drained, exiting")
+}

@@ -9,184 +9,266 @@
 //   - -dpcs: DPCS policy parameter sensitivity (interval and threshold
 //     sweep on one workload), the "more sophisticated policies" study.
 //
+// The grid studies are expressed as campaigns for internal/runner, so
+// they fan out across -workers cores and can archive their records under
+// -runs; -json switches every table to machine-readable output.
+//
 // Usage:
 //
 //	pcs-sweep [-assoc] [-levels] [-dpcs] [-bench name] [-instr N]
+//	          [-workers N] [-json] [-runs dir]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
-	"repro/internal/core"
 	"repro/internal/cpusim"
 	"repro/internal/expers"
-	"repro/internal/faultmodel"
 	"repro/internal/report"
-	"repro/internal/sram"
-	"repro/internal/trace"
+	"repro/internal/runner"
 )
+
+// harness bundles the flags shared by every sweep.
+type harness struct {
+	reg      *runner.Registry
+	workers  int
+	jsonOut  bool
+	runsRoot string
+	progress bool
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pcs-sweep: ")
 	var (
-		assoc  = flag.Bool("assoc", false, "sweep associativity and block size vs min-VDD")
-		levels = flag.Bool("levels", false, "sweep the number of VDD levels")
-		dpcs   = flag.Bool("dpcs", false, "sweep DPCS policy parameters")
-		ablate = flag.Bool("ablate", false, "run the DPCS policy ablation study")
-		leak   = flag.Bool("leakage", false, "compare drowsy/decay/SPCS leakage techniques")
-		cells  = flag.Bool("cells", false, "compare 6T/8T/10T bit cells with and without PCS")
-		bench  = flag.String("bench", "bzip2.s", "benchmark for -dpcs")
-		instr  = flag.Uint64("instr", 4_000_000, "instructions for -dpcs and -ablate runs")
+		assoc    = flag.Bool("assoc", false, "sweep associativity and block size vs min-VDD")
+		levels   = flag.Bool("levels", false, "sweep the number of VDD levels")
+		dpcs     = flag.Bool("dpcs", false, "sweep DPCS policy parameters")
+		ablate   = flag.Bool("ablate", false, "run the DPCS policy ablation study")
+		leak     = flag.Bool("leakage", false, "compare drowsy/decay/SPCS leakage techniques")
+		cells    = flag.Bool("cells", false, "compare 6T/8T/10T bit cells with and without PCS")
+		bench    = flag.String("bench", "bzip2.s", "benchmark for -dpcs")
+		instr    = flag.Uint64("instr", 4_000_000, "instructions for -dpcs and -ablate runs")
+		workers  = flag.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "emit tables as JSON instead of text")
+		runsRoot = flag.String("runs", "", "archive campaign records under this directory (e.g. runs)")
+		progress = flag.Bool("progress", false, "log campaign progress to stderr")
 	)
 	flag.Parse()
 	if !(*assoc || *levels || *dpcs || *ablate || *cells || *leak) {
 		*assoc, *levels, *dpcs, *ablate, *cells, *leak = true, true, true, true, true, true
 	}
+	h := &harness{
+		reg:      expers.NewCampaignRegistry(),
+		workers:  *workers,
+		jsonOut:  *jsonOut,
+		runsRoot: *runsRoot,
+		progress: *progress,
+	}
 	if *assoc {
-		sweepAssoc()
+		h.sweepAssoc()
 	}
 	if *levels {
-		sweepLevels()
+		h.sweepLevels()
 	}
 	if *cells {
-		sweepCells()
+		h.sweepCells()
 	}
 	if *leak {
-		runLeakage(*instr)
+		h.runLeakage(*instr)
 	}
 	if *dpcs {
-		sweepDPCS(*bench, *instr)
+		h.sweepDPCS(*bench, *instr)
 	}
 	if *ablate {
-		runAblation(*instr)
+		h.runAblation(*instr)
 	}
 }
 
+// emit renders a table in the selected output format.
+func (h *harness) emit(t *report.Table) {
+	var err error
+	if h.jsonOut {
+		err = t.RenderJSON(os.Stdout)
+	} else {
+		err = t.Render(os.Stdout)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// spec builds a runner.Spec, marshalling the kind's parameter struct.
+func spec(kind, name string, params any) runner.Spec {
+	raw, err := json.Marshal(params)
+	if err != nil {
+		log.Fatalf("marshal %s params: %v", kind, err)
+	}
+	return runner.Spec{Kind: kind, Name: name, Params: raw}
+}
+
+// runCampaign fans the jobs out across the worker pool and returns the
+// per-job results in job order, aborting on any failed job.
+func (h *harness) runCampaign(name string, seed uint64, jobs []runner.Spec) []runner.JobResult {
+	opts := runner.Options{Workers: h.workers}
+	if h.runsRoot != "" {
+		dir, err := runner.NewRunDir(filepath.Join(h.runsRoot, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.ArtifactDir = dir
+	}
+	if h.progress {
+		opts.OnProgress = func(p runner.Progress) {
+			log.Printf("%s: %d/%d done (%.1f jobs/s, ETA %s)",
+				name, p.Completed(), p.Total, p.JobsPerSec, p.ETA.Round(1e8))
+		}
+	}
+	res, err := runner.Run(context.Background(), h.reg, runner.Campaign{Name: name, Seed: seed, Jobs: jobs}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res.Results {
+		if r.Status != runner.StatusDone {
+			log.Fatalf("campaign %s: job %d (%s) %s: %s", name, r.Index, r.Name, r.Status, r.Error)
+		}
+	}
+	if res.ArtifactDir != "" {
+		log.Printf("%s: records archived in %s", name, res.ArtifactDir)
+	}
+	return res.Results
+}
+
 // sweepAssoc reproduces the Sec. 3.1 claim: "Higher associativity and/or
-// smaller block sizes naturally result in lower min-VDD".
-func sweepAssoc() {
-	ber := sram.NewWangCalhounBER()
+// smaller block sizes naturally result in lower min-VDD". The 20-point
+// geometry grid runs as one campaign of analytical "minvdd" jobs.
+func (h *harness) sweepAssoc() {
+	blocks := []int{16, 32, 64, 128}
+	ways := []int{1, 2, 4, 8, 16}
+	var jobs []runner.Spec
+	for _, blockB := range blocks {
+		for _, w := range ways {
+			jobs = append(jobs, spec("minvdd", fmt.Sprintf("%dB/%dway", blockB, w), expers.MinVDDParams{
+				SizeBytes: 64 << 10, Ways: w, BlockBytes: blockB,
+				Yield: 0.99, VMin: 0.30, VMax: 1.00,
+			}))
+		}
+	}
+	results := h.runCampaign("assoc", 1, jobs)
+
 	t := report.NewTable("Min-VDD (99% yield) vs associativity and block size, 64 KB cache",
 		"Block (B)", "1-way", "2-way", "4-way", "8-way", "16-way")
-	for _, blockB := range []int{16, 32, 64, 128} {
+	i := 0
+	for _, blockB := range blocks {
 		row := []any{blockB}
-		for _, ways := range []int{1, 2, 4, 8, 16} {
-			sets := (64 << 10) / (blockB * ways)
-			m, err := faultmodel.New(faultmodel.Geometry{
-				Sets: sets, Ways: ways, BlockBits: blockB * 8}, ber)
-			if err != nil {
-				log.Fatal(err)
-			}
-			v, ok := m.MinVDDForYield(0.99, 0.30, 1.00)
-			if !ok {
+		for range ways {
+			out := results[i].Output.(expers.MinVDDOutput)
+			i++
+			if !out.OK {
 				row = append(row, "n/a")
 				continue
 			}
-			row = append(row, fmt.Sprintf("%.2f", v))
+			row = append(row, fmt.Sprintf("%.2f", out.MinVDD))
 		}
 		t.AddRow(row...)
 	}
-	if err := t.Render(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	h.emit(t)
 }
 
 // sweepLevels shows the fault-map cost and SPCS-point power as the
 // number of allowed VDD levels grows ("our fault map approach should
-// scale well for more voltage levels").
-func sweepLevels() {
-	org := expers.L1ConfigA()
+// scale well for more voltage levels"), one "vddlevels" job per count.
+func (h *harness) sweepLevels() {
+	counts := []int{1, 2, 3, 7, 15}
+	var jobs []runner.Spec
+	for _, n := range counts {
+		jobs = append(jobs, spec("vddlevels", fmt.Sprintf("levels=%d", n), expers.VDDLevelsParams{Levels: n}))
+	}
+	results := h.runCampaign("levels", 1, jobs)
+
 	t := report.NewTable("VDD level count vs fault-map size and SPCS static power (L1-A)",
 		"Levels N", "FM bits/block", "Static power @ SPCS point (mW)")
-	for _, n := range []int{1, 2, 3, 7, 15} {
-		cs, err := expers.NewCacheSetup(org, n)
-		if err != nil {
-			log.Fatal(err)
-		}
-		v2, ok := cs.FM.MinVDDForCapacity(0.99, 0.99, 0.30, 1.00)
-		if !ok {
-			log.Fatal("no SPCS point")
-		}
-		p := cs.CMPCS.StaticPower(v2, cs.FM.ExpectedCapacity(v2))
-		t.AddRow(n, cs.CMPCS.FMBitsPerBlock, fmt.Sprintf("%.3f", p.TotalW*1e3))
+	for _, r := range results {
+		out := r.Output.(expers.VDDLevelsOutput)
+		t.AddRow(out.Levels, out.FMBitsPerBlock, fmt.Sprintf("%.3f", out.StaticPowerW*1e3))
 	}
-	if err := t.Render(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	h.emit(t)
 }
 
 // sweepCells compares bit-cell designs (paper Sec. 2: hardened 8T/10T
 // cells vs 6T + the proposed mechanism).
-func sweepCells() {
+func (h *harness) sweepCells() {
 	_, t, err := expers.CellComparison()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := t.Render(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	h.emit(t)
 }
 
 // runLeakage compares the Sec.-2 leakage-reduction baselines with SPCS.
-func runLeakage(instr uint64) {
+func (h *harness) runLeakage(instr uint64) {
 	_, t, err := expers.LeakageComparison(instr, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := t.Render(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	h.emit(t)
 }
 
 // runAblation disables the DPCS damping refinements one at a time
 // (DESIGN.md §6) on a cache-friendly and a capacity-cliff workload.
-func runAblation(instr uint64) {
+func (h *harness) runAblation(instr uint64) {
 	opts := cpusim.RunOptions{WarmupInstr: instr / 4, SimInstr: instr, Seed: 1}
 	_, t, err := expers.Ablation([]string{"hmmer.s", "sjeng.s"}, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := t.Render(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	h.emit(t)
 }
 
 // sweepDPCS measures policy sensitivity: energy saving and overhead as
-// the sampling interval and escape budget vary.
-func sweepDPCS(bench string, instr uint64) {
-	w, ok := trace.ByName(bench)
-	if !ok {
-		log.Fatalf("unknown benchmark %q", bench)
+// the sampling interval and escape budget vary. The baseline run and the
+// 9-cell parameter grid form one campaign; every cell pins seed 1 so all
+// runs share fault maps and stay directly comparable.
+func (h *harness) sweepDPCS(bench string, instr uint64) {
+	intervals := []uint64{2_000, 10_000, 50_000}
+	threshes := []float64{0.01, 0.03, 0.10}
+	base := expers.CPUSimParams{
+		Config: "A", Mode: "baseline", Bench: bench,
+		WarmupInstr: instr / 4, SimInstr: instr, Seed: 1,
 	}
-	opts := cpusim.RunOptions{WarmupInstr: instr / 4, SimInstr: instr, Seed: 1}
-	base, err := cpusim.Run(cpusim.ConfigA(), core.Baseline, w, opts)
-	if err != nil {
-		log.Fatal(err)
+	jobs := []runner.Spec{spec("cpusim", "baseline", base)}
+	for _, interval := range intervals {
+		for _, ht := range threshes {
+			p := base
+			p.Mode = "DPCS"
+			p.L2Interval = interval
+			p.HighThreshold = ht
+			p.LowThreshold = ht / 2
+			jobs = append(jobs, spec("cpusim", fmt.Sprintf("int=%d ht=%.2f", interval, ht), p))
+		}
 	}
+	results := h.runCampaign("dpcs", 1, jobs)
+	baseOut := results[0].Output.(expers.CPUSimOutput)
+
 	t := report.NewTable(
 		fmt.Sprintf("DPCS parameter sensitivity on %s (Config A, %d instr)", bench, instr),
 		"L2 interval", "High thresh", "Energy saving %", "Exec overhead %", "L2 transitions")
-	for _, interval := range []uint64{2_000, 10_000, 50_000} {
-		for _, ht := range []float64{0.01, 0.03, 0.10} {
-			cfg := cpusim.ConfigA()
-			cfg.L2.Interval = interval
-			cfg.HighThreshold = ht
-			cfg.LowThreshold = ht / 2
-			r, err := cpusim.Run(cfg, core.DPCS, w, opts)
-			if err != nil {
-				log.Fatal(err)
-			}
+	i := 1
+	for _, interval := range intervals {
+		for _, ht := range threshes {
+			out := results[i].Output.(expers.CPUSimOutput)
+			i++
 			t.AddRow(interval, ht,
-				fmt.Sprintf("%.1f", (1-r.TotalCacheEnergyJ/base.TotalCacheEnergyJ)*100),
-				fmt.Sprintf("%.2f", (float64(r.Cycles)/float64(base.Cycles)-1)*100),
-				r.L2.Transitions)
+				fmt.Sprintf("%.1f", (1-out.TotalCacheEnergyJ/baseOut.TotalCacheEnergyJ)*100),
+				fmt.Sprintf("%.2f", (float64(out.Cycles)/float64(baseOut.Cycles)-1)*100),
+				out.L2Transitions)
 		}
 	}
-	if err := t.Render(os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	h.emit(t)
 }

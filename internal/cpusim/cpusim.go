@@ -6,9 +6,20 @@
 // writebacks consume bandwidth-free energy only. Each cache runs under a
 // core.Controller (baseline / SPCS / DPCS), and DPCS policies tick per
 // cache with their own intervals, exactly as Table 2 configures.
+//
+// # Concurrency contract
+//
+// A System and everything it owns (controllers, policies, fault maps,
+// the RNG used during construction) is confined to one goroutine: build
+// one System per concurrent simulation. The package itself keeps no
+// global mutable state, so any number of Run/RunContext calls may
+// proceed in parallel as long as each uses its own System and its own
+// trace.Generator. This is the contract internal/runner relies on when
+// it fans campaign jobs out across workers.
 package cpusim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -373,6 +384,13 @@ func (s *System) step(ins *trace.Instr) {
 // Run simulates the workload under the options and returns the measured
 // window's result.
 func Run(cfg SystemConfig, mode core.Mode, w trace.Workload, opts RunOptions) (Result, error) {
+	return RunContext(context.Background(), cfg, mode, w, opts)
+}
+
+// RunContext is Run with cancellation: the instruction loops poll ctx
+// and abandon the simulation mid-flight with ctx's error when it is
+// cancelled, so a cancelled campaign does not run to completion.
+func RunContext(ctx context.Context, cfg SystemConfig, mode core.Mode, w trace.Workload, opts RunOptions) (Result, error) {
 	sys, err := NewSystem(cfg, mode, opts.Seed)
 	if err != nil {
 		return Result{}, err
@@ -381,27 +399,40 @@ func Run(cfg SystemConfig, mode core.Mode, w trace.Workload, opts RunOptions) (R
 	if err != nil {
 		return Result{}, err
 	}
-	return sys.run(gen, opts)
+	return sys.run(ctx, gen, opts)
 }
 
 // RunGenerator is Run for a caller-supplied instruction source (e.g. a
 // replayed trace): the generator's Name labels the result.
 func RunGenerator(cfg SystemConfig, mode core.Mode, gen trace.Generator, opts RunOptions) (Result, error) {
+	return RunGeneratorContext(context.Background(), cfg, mode, gen, opts)
+}
+
+// RunGeneratorContext is RunGenerator with cancellation (see RunContext).
+func RunGeneratorContext(ctx context.Context, cfg SystemConfig, mode core.Mode, gen trace.Generator, opts RunOptions) (Result, error) {
 	sys, err := NewSystem(cfg, mode, opts.Seed)
 	if err != nil {
 		return Result{}, err
 	}
-	return sys.run(gen, opts)
+	return sys.run(ctx, gen, opts)
 }
 
+// ctxCheckMask throttles cancellation polling in the instruction loops:
+// ctx.Err() is checked once every 8192 instructions, cheap enough to be
+// invisible and fine-grained enough to stop a run within microseconds.
+const ctxCheckMask = 8192 - 1
+
 // run drives a prepared system through warm-up and measurement.
-func (sys *System) run(gen trace.Generator, opts RunOptions) (Result, error) {
+func (sys *System) run(ctx context.Context, gen trace.Generator, opts RunOptions) (Result, error) {
 	cfg := sys.cfg
 	mode := sys.mode
 	sys.start()
 
 	var ins trace.Instr
 	for i := uint64(0); i < opts.WarmupInstr; i++ {
+		if i&ctxCheckMask == 0 && ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
 		gen.Next(&ins)
 		sys.step(&ins)
 	}
@@ -425,6 +456,9 @@ func (sys *System) run(gen trace.Generator, opts RunOptions) (Result, error) {
 	}
 
 	for i := uint64(0); i < opts.SimInstr; i++ {
+		if i&ctxCheckMask == 0 && ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
 		gen.Next(&ins)
 		sys.step(&ins)
 	}
@@ -524,7 +558,7 @@ func RunDebug(cfg SystemConfig, mode core.Mode, w trace.Workload, opts RunOption
 	if err != nil {
 		return DebugResult{}, err
 	}
-	res, err := sys.run(gen, opts)
+	res, err := sys.run(context.Background(), gen, opts)
 	if err != nil {
 		return DebugResult{}, err
 	}
@@ -545,7 +579,7 @@ func RunDebugTrace(cfg SystemConfig, w trace.Workload, opts RunOptions, tracef f
 	if err != nil {
 		return DebugResult{}, err
 	}
-	res, err := sys.run(gen, opts)
+	res, err := sys.run(context.Background(), gen, opts)
 	if err != nil {
 		return DebugResult{}, err
 	}

@@ -1,0 +1,356 @@
+package expers
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpusim"
+	"repro/internal/faultmodel"
+	"repro/internal/multicore"
+	"repro/internal/runner"
+	"repro/internal/sram"
+	"repro/internal/trace"
+)
+
+// This file defines the standard experiment kinds for the campaign
+// runner (internal/runner): each kind wraps one of the repository's
+// simulation or analytical entry points behind a JSON parameter
+// document, so sweeps and Monte-Carlo campaigns can be expressed as
+// data — locally by the cmd harnesses or remotely via pcs-server.
+//
+// Seeding convention: a params document with Seed == 0 uses the
+// runner-derived per-job seed (campaign seed + job index), which is what
+// Monte-Carlo campaigns want. A non-zero Seed pins the run — grid sweeps
+// pin it so that e.g. baseline/SPCS/DPCS cells of the same grid point
+// share fault maps and are directly comparable.
+
+// RegisterCampaignKinds installs the standard kinds on reg:
+//
+//	cpusim     one single-core simulation (CPUSimParams → CPUSimOutput)
+//	multicore  one multi-core simulation (MulticoreParams → MulticoreOutput)
+//	minvdd     analytical min-VDD for a cache geometry (MinVDDParams → MinVDDOutput)
+//	vddlevels  fault-map cost and SPCS power vs level count (VDDLevelsParams → VDDLevelsOutput)
+func RegisterCampaignKinds(reg *runner.Registry) {
+	reg.MustRegister("cpusim", runCPUSimJob)
+	reg.MustRegister("multicore", runMulticoreJob)
+	reg.MustRegister("minvdd", runMinVDDJob)
+	reg.MustRegister("vddlevels", runVDDLevelsJob)
+}
+
+// NewCampaignRegistry returns a registry preloaded with the standard
+// kinds; pcs-server and the cmd harnesses start from this.
+func NewCampaignRegistry() *runner.Registry {
+	reg := runner.NewRegistry()
+	RegisterCampaignKinds(reg)
+	return reg
+}
+
+// systemConfigByName resolves "A"/"B" (case-insensitive).
+func systemConfigByName(name string) (cpusim.SystemConfig, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "", "A":
+		return cpusim.ConfigA(), nil
+	case "B":
+		return cpusim.ConfigB(), nil
+	default:
+		return cpusim.SystemConfig{}, fmt.Errorf("expers: unknown system config %q (want A or B)", name)
+	}
+}
+
+// modeByName resolves a policy mode name (case-insensitive).
+func modeByName(name string) (core.Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "baseline":
+		return core.Baseline, nil
+	case "spcs":
+		return core.SPCS, nil
+	case "dpcs":
+		return core.DPCS, nil
+	default:
+		return 0, fmt.Errorf("expers: unknown mode %q (want baseline, SPCS or DPCS)", name)
+	}
+}
+
+// CPUSimParams parameterise one "cpusim" job.
+type CPUSimParams struct {
+	Config      string `json:"config"` // "A" (default) or "B"
+	Mode        string `json:"mode"`   // "baseline" (default), "SPCS" or "DPCS"
+	Bench       string `json:"bench"`
+	WarmupInstr uint64 `json:"warmup_instr"`
+	SimInstr    uint64 `json:"sim_instr"`
+	// Seed pins the run when non-zero; zero uses the derived job seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Optional DPCS policy overrides (zero = keep the config default).
+	L2Interval    uint64  `json:"l2_interval,omitempty"`
+	HighThreshold float64 `json:"high_threshold,omitempty"`
+	LowThreshold  float64 `json:"low_threshold,omitempty"`
+}
+
+// CPUSimOutput is the deterministic record of one "cpusim" job.
+type CPUSimOutput struct {
+	Workload          string  `json:"workload"`
+	Config            string  `json:"config"`
+	Mode              string  `json:"mode"`
+	Instructions      uint64  `json:"instructions"`
+	Cycles            uint64  `json:"cycles"`
+	IPC               float64 `json:"ipc"`
+	L1IEnergyJ        float64 `json:"l1i_energy_j"`
+	L1DEnergyJ        float64 `json:"l1d_energy_j"`
+	L2EnergyJ         float64 `json:"l2_energy_j"`
+	TotalCacheEnergyJ float64 `json:"total_cache_energy_j"`
+	L2Transitions     int     `json:"l2_transitions"`
+}
+
+func runCPUSimJob(ctx context.Context, seed uint64, params json.RawMessage) (any, error) {
+	var p CPUSimParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	cfg, err := systemConfigByName(p.Config)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := modeByName(p.Mode)
+	if err != nil {
+		return nil, err
+	}
+	w, ok := trace.ByName(p.Bench)
+	if !ok {
+		return nil, fmt.Errorf("expers: unknown benchmark %q (known: %v)", p.Bench, trace.Names())
+	}
+	if p.L2Interval > 0 {
+		cfg.L2.Interval = p.L2Interval
+	}
+	if p.HighThreshold > 0 {
+		cfg.HighThreshold = p.HighThreshold
+	}
+	if p.LowThreshold > 0 {
+		cfg.LowThreshold = p.LowThreshold
+	}
+	if p.Seed != 0 {
+		seed = p.Seed
+	}
+	opts := cpusim.RunOptions{WarmupInstr: p.WarmupInstr, SimInstr: p.SimInstr, Seed: seed}
+	if opts.SimInstr == 0 {
+		return nil, fmt.Errorf("expers: cpusim job needs sim_instr > 0")
+	}
+	r, err := cpusim.RunContext(ctx, cfg, mode, w, opts)
+	if err != nil {
+		return nil, err
+	}
+	return CPUSimOutput{
+		Workload:          r.Workload,
+		Config:            r.Config,
+		Mode:              r.Mode.String(),
+		Instructions:      r.Instructions,
+		Cycles:            r.Cycles,
+		IPC:               r.IPC,
+		L1IEnergyJ:        r.L1I.Energy.TotalJ,
+		L1DEnergyJ:        r.L1D.Energy.TotalJ,
+		L2EnergyJ:         r.L2.Energy.TotalJ,
+		TotalCacheEnergyJ: r.TotalCacheEnergyJ,
+		L2Transitions:     r.L2.Transitions,
+	}, nil
+}
+
+// MulticoreParams parameterise one "multicore" job.
+type MulticoreParams struct {
+	Config       string  `json:"config"`
+	Mode         string  `json:"mode"`
+	Cores        int     `json:"cores"`
+	Bench        string  `json:"bench"`
+	WarmupInstr  uint64  `json:"warmup_instr"`
+	InstrPerCore uint64  `json:"instr_per_core"`
+	SharedBytes  uint64  `json:"shared_bytes"`
+	SharedFrac   float64 `json:"shared_frac"`
+	// CoherencePenaltyCycles defaults to 20 when zero.
+	CoherencePenaltyCycles uint64 `json:"coherence_penalty_cycles,omitempty"`
+	// Seed pins the run when non-zero; zero uses the derived job seed.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// MulticoreOutput is the deterministic record of one "multicore" job.
+type MulticoreOutput struct {
+	Config                 string  `json:"config"`
+	Mode                   string  `json:"mode"`
+	Cores                  int     `json:"cores"`
+	GlobalCycles           uint64  `json:"global_cycles"`
+	L2Accesses             uint64  `json:"l2_accesses"`
+	L2Misses               uint64  `json:"l2_misses"`
+	CoherenceInvalidations uint64  `json:"coherence_invalidations"`
+	L2Transitions          int     `json:"l2_transitions"`
+	L2EnergyJ              float64 `json:"l2_energy_j"`
+	TotalCacheEnergyJ      float64 `json:"total_cache_energy_j"`
+}
+
+func runMulticoreJob(ctx context.Context, seed uint64, params json.RawMessage) (any, error) {
+	var p MulticoreParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	sysCfg, err := systemConfigByName(p.Config)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := modeByName(p.Mode)
+	if err != nil {
+		return nil, err
+	}
+	w, ok := trace.ByName(p.Bench)
+	if !ok {
+		return nil, fmt.Errorf("expers: unknown benchmark %q (known: %v)", p.Bench, trace.Names())
+	}
+	if p.InstrPerCore == 0 {
+		return nil, fmt.Errorf("expers: multicore job needs instr_per_core > 0")
+	}
+	cfg := multicore.Config{
+		System:                 sysCfg,
+		Cores:                  p.Cores,
+		SharedBytes:            p.SharedBytes,
+		SharedFrac:             p.SharedFrac,
+		CoherencePenaltyCycles: p.CoherencePenaltyCycles,
+	}
+	if cfg.CoherencePenaltyCycles == 0 {
+		cfg.CoherencePenaltyCycles = 20
+	}
+	if p.Seed != 0 {
+		seed = p.Seed
+	}
+	r, err := multicore.RunContext(ctx, cfg, mode, w, p.WarmupInstr, p.InstrPerCore, seed)
+	if err != nil {
+		return nil, err
+	}
+	return MulticoreOutput{
+		Config:                 sysCfg.Name,
+		Mode:                   r.Mode.String(),
+		Cores:                  p.Cores,
+		GlobalCycles:           r.GlobalCycles,
+		L2Accesses:             r.L2.Accesses,
+		L2Misses:               r.L2.Misses,
+		CoherenceInvalidations: r.CoherenceInvalidations,
+		L2Transitions:          r.L2Transitions,
+		L2EnergyJ:              r.L2EnergyJ,
+		TotalCacheEnergyJ:      r.TotalCacheEnergyJ,
+	}, nil
+}
+
+// MinVDDParams parameterise one "minvdd" job: the analytical minimum
+// operating voltage of a cache geometry at a yield target.
+type MinVDDParams struct {
+	SizeBytes  int     `json:"size_bytes"`
+	Ways       int     `json:"ways"`
+	BlockBytes int     `json:"block_bytes"`
+	Yield      float64 `json:"yield"` // default 0.99
+	VMin       float64 `json:"v_min"` // default 0.30
+	VMax       float64 `json:"v_max"` // default 1.00
+}
+
+// MinVDDOutput is the deterministic record of one "minvdd" job.
+type MinVDDOutput struct {
+	SizeBytes  int     `json:"size_bytes"`
+	Ways       int     `json:"ways"`
+	BlockBytes int     `json:"block_bytes"`
+	Yield      float64 `json:"yield"`
+	// OK is false when no voltage in [v_min, v_max] meets the yield.
+	OK     bool    `json:"ok"`
+	MinVDD float64 `json:"min_vdd,omitempty"`
+}
+
+func runMinVDDJob(ctx context.Context, _ uint64, params json.RawMessage) (any, error) {
+	var p MinVDDParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	if p.Yield == 0 {
+		p.Yield = 0.99
+	}
+	if p.VMin == 0 {
+		p.VMin = 0.30
+	}
+	if p.VMax == 0 {
+		p.VMax = 1.00
+	}
+	if p.Ways <= 0 || p.BlockBytes <= 0 || p.SizeBytes <= 0 {
+		return nil, fmt.Errorf("expers: minvdd job needs positive size_bytes, ways, block_bytes")
+	}
+	sets := p.SizeBytes / (p.BlockBytes * p.Ways)
+	if sets <= 0 {
+		return nil, fmt.Errorf("expers: minvdd geometry %d B / (%d B × %d ways) has no sets", p.SizeBytes, p.BlockBytes, p.Ways)
+	}
+	m, err := faultmodel.New(faultmodel.Geometry{
+		Sets: sets, Ways: p.Ways, BlockBits: p.BlockBytes * 8,
+	}, sram.NewWangCalhounBER())
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := MinVDDOutput{
+		SizeBytes: p.SizeBytes, Ways: p.Ways, BlockBytes: p.BlockBytes, Yield: p.Yield,
+	}
+	out.MinVDD, out.OK = m.MinVDDForYield(p.Yield, p.VMin, p.VMax)
+	if !out.OK {
+		out.MinVDD = 0
+	}
+	return out, nil
+}
+
+// VDDLevelsParams parameterise one "vddlevels" job: fault-map cost and
+// SPCS-point static power for an N-level voltage ladder on the Config A
+// L1 organisation.
+type VDDLevelsParams struct {
+	Levels int `json:"levels"`
+}
+
+// VDDLevelsOutput is the deterministic record of one "vddlevels" job.
+type VDDLevelsOutput struct {
+	Levels         int     `json:"levels"`
+	FMBitsPerBlock int     `json:"fm_bits_per_block"`
+	StaticPowerW   float64 `json:"static_power_w"`
+}
+
+func runVDDLevelsJob(ctx context.Context, _ uint64, params json.RawMessage) (any, error) {
+	var p VDDLevelsParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	if p.Levels < 1 {
+		return nil, fmt.Errorf("expers: vddlevels job needs levels >= 1")
+	}
+	cs, err := NewCacheSetup(L1ConfigA(), p.Levels)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	v2, ok := cs.FM.MinVDDForCapacity(0.99, 0.99, 0.30, 1.00)
+	if !ok {
+		return nil, fmt.Errorf("expers: no SPCS point for %d levels", p.Levels)
+	}
+	pw := cs.CMPCS.StaticPower(v2, cs.FM.ExpectedCapacity(v2))
+	return VDDLevelsOutput{
+		Levels:         p.Levels,
+		FMBitsPerBlock: cs.CMPCS.FMBitsPerBlock,
+		StaticPowerW:   pw.TotalW,
+	}, nil
+}
+
+// decodeParams strictly decodes a kind's parameter document, rejecting
+// unknown fields so spec typos fail instead of silently running the
+// default experiment.
+func decodeParams(raw json.RawMessage, v any) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("expers: bad params: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package multicore
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestRunContextCancelled checks a cancelled campaign context stops the
+// interleaved multi-core loop mid-simulation.
+func TestRunContextCancelled(t *testing.T) {
+	w, ok := trace.ByName("gobmk.s")
+	if !ok {
+		t.Fatal("gobmk.s missing from suite")
+	}
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(30*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := RunContext(ctx, cfg, core.Baseline, w, 10_000, 1_000_000_000, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled run took %s", elapsed)
+	}
+}
+
+// TestRunContextBackgroundMatchesRun checks the context plumbing does
+// not perturb results.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	w, _ := trace.ByName("gobmk.s")
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	a, err := Run(cfg, core.SPCS, w, 2_000, 10_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), cfg, core.SPCS, w, 2_000, 10_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GlobalCycles != b.GlobalCycles || a.TotalCacheEnergyJ != b.TotalCacheEnergyJ {
+		t.Fatalf("Run != RunContext: %v vs %v cycles", a.GlobalCycles, b.GlobalCycles)
+	}
+}

@@ -13,9 +13,19 @@
 // when the L2 is contended by several working sets, and what do
 // coherence invalidations do to the transition procedure's writeback
 // traffic.
+//
+// # Concurrency contract
+//
+// The cores of one System share the L2 controller and the coherence
+// directory, so a System is confined to one goroutine (cores are
+// interleaved round-robin on a single goroutine, not parallelised).
+// Parallelism happens one level up: build one System per concurrent
+// Run/RunContext call — the package has no global mutable state, which
+// is what lets internal/runner fan multicore jobs out across workers.
 package multicore
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -368,6 +378,18 @@ func (s *System) step(c *coreState, ins *trace.Instr) {
 // warmupPerCore), interleaving cores round-robin, and returns the
 // aggregate result.
 func Run(cfg Config, mode core.Mode, w trace.Workload, warmupPerCore, instrPerCore, seed uint64) (Result, error) {
+	return RunContext(context.Background(), cfg, mode, w, warmupPerCore, instrPerCore, seed)
+}
+
+// ctxCheckMask throttles cancellation polling in the interleave loop:
+// ctx.Err() is consulted once every 2048 round-robin sweeps.
+const ctxCheckMask = 2048 - 1
+
+// RunContext is Run with cancellation: the interleaved instruction loop
+// polls ctx and abandons the simulation mid-flight with ctx's error when
+// it is cancelled, so a cancelled campaign stops instead of running to
+// completion.
+func RunContext(ctx context.Context, cfg Config, mode core.Mode, w trace.Workload, warmupPerCore, instrPerCore, seed uint64) (Result, error) {
 	sys, err := newSystem(cfg, mode, w, seed)
 	if err != nil {
 		return Result{}, err
@@ -375,15 +397,21 @@ func Run(cfg Config, mode core.Mode, w trace.Workload, warmupPerCore, instrPerCo
 	sys.start()
 
 	var ins trace.Instr
-	interleave := func(n uint64) {
+	interleave := func(n uint64) error {
 		for k := uint64(0); k < n; k++ {
+			if k&ctxCheckMask == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			for _, c := range sys.cores {
 				c.gen.Next(&ins)
 				sys.step(c, &ins)
 			}
 		}
+		return nil
 	}
-	interleave(warmupPerCore)
+	if err := interleave(warmupPerCore); err != nil {
+		return Result{}, err
+	}
 	sys.arm()
 
 	// Measurement marks.
@@ -403,7 +431,9 @@ func Run(cfg Config, mode core.Mode, w trace.Workload, warmupPerCore, instrPerCo
 	startInv := sys.cohInv
 	globalStart := sys.global
 
-	interleave(instrPerCore)
+	if err := interleave(instrPerCore); err != nil {
+		return Result{}, err
+	}
 
 	res := Result{Mode: mode}
 	var maxCycles uint64

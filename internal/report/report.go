@@ -1,8 +1,10 @@
-// Package report renders experiment output as aligned ASCII tables or
-// CSV, so every cmd harness and example prints figures the same way.
+// Package report renders experiment output as aligned ASCII tables,
+// CSV, or JSON, so every cmd harness and example prints figures the
+// same way.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -94,6 +96,26 @@ func (t *Table) Render(w io.Writer) error {
 	b.WriteByte('\n')
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// RenderJSON writes the table as a machine-readable JSON document:
+//
+//	{"title": ..., "columns": [...], "rows": [[...], ...]}
+//
+// Rows keep column order; all cells are the already-formatted strings
+// the text renderer would print, so the JSON and text outputs agree.
+func (t *Table) RenderJSON(w io.Writer) error {
+	doc := struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{Title: t.Title, Columns: t.Headers, Rows: t.Rows}
+	if doc.Rows == nil {
+		doc.Rows = [][]string{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // RenderCSV writes the table as CSV (quoting cells containing commas).

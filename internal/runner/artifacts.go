@@ -1,0 +1,123 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Artifact layout (in the spirit of a paper run_all.sh workflow): each
+// campaign execution owns one directory, normally runs/<timestamp>/,
+// holding
+//
+//	manifest.json   what ran: campaign name, seed, job specs, workers
+//	results.jsonl   one JobResult per line, in job-index order
+//	summary.json    terminal counts and elapsed time
+//
+// results.jsonl is written from the deterministic per-job records only,
+// so two executions of the same campaign+seed produce byte-identical
+// files regardless of worker count.
+
+// NewRunDir creates and returns a fresh timestamped run directory under
+// root (e.g. "runs"). Collisions get a numeric suffix.
+func NewRunDir(root string) (string, error) {
+	stamp := time.Now().UTC().Format("20060102T150405Z")
+	for i := 0; ; i++ {
+		name := stamp
+		if i > 0 {
+			name = fmt.Sprintf("%s-%d", stamp, i)
+		}
+		dir := filepath.Join(root, name)
+		err := os.MkdirAll(root, 0o755)
+		if err != nil {
+			return "", fmt.Errorf("runner: create run root: %w", err)
+		}
+		err = os.Mkdir(dir, 0o755)
+		if err == nil {
+			return dir, nil
+		}
+		if !os.IsExist(err) {
+			return "", fmt.Errorf("runner: create run dir: %w", err)
+		}
+	}
+}
+
+// manifest is the at-start record of what a campaign execution will do.
+type manifest struct {
+	Campaign string    `json:"campaign"`
+	Seed     uint64    `json:"seed"`
+	Jobs     int       `json:"jobs"`
+	Workers  int       `json:"workers"`
+	Created  time.Time `json:"created"`
+	Specs    []Spec    `json:"specs"`
+}
+
+type artifactStore struct {
+	dir string
+}
+
+// newArtifactStore creates dir if needed and writes the manifest.
+func newArtifactStore(dir string, c Campaign, workers int) (*artifactStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: artifact dir: %w", err)
+	}
+	m := manifest{
+		Campaign: c.Name,
+		Seed:     c.Seed,
+		Jobs:     len(c.Jobs),
+		Workers:  workers,
+		Created:  time.Now().UTC(),
+		Specs:    c.Jobs,
+	}
+	if err := writeJSON(filepath.Join(dir, "manifest.json"), m); err != nil {
+		return nil, err
+	}
+	return &artifactStore{dir: dir}, nil
+}
+
+// finish writes results.jsonl (index order) and summary.json.
+func (a *artifactStore) finish(results []JobResult, res *CampaignResult) error {
+	f, err := os.Create(filepath.Join(a.dir, "results.jsonl"))
+	if err != nil {
+		return fmt.Errorf("runner: results.jsonl: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for i := range results {
+		if err := enc.Encode(&results[i]); err != nil {
+			f.Close()
+			return fmt.Errorf("runner: encode result %d: %w", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("runner: flush results.jsonl: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("runner: close results.jsonl: %w", err)
+	}
+	summary := struct {
+		Done      int           `json:"done"`
+		Failed    int           `json:"failed"`
+		Cancelled int           `json:"cancelled"`
+		Elapsed   time.Duration `json:"elapsed_ns"`
+	}{res.Done, res.Failed, res.Cancelled, res.Elapsed}
+	return writeJSON(filepath.Join(a.dir, "summary.json"), summary)
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("runner: %s: %w", filepath.Base(path), err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return fmt.Errorf("runner: encode %s: %w", filepath.Base(path), err)
+	}
+	return f.Close()
+}

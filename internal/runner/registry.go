@@ -1,0 +1,74 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Func executes one experiment. It receives the job's derived seed and
+// the spec's raw parameter document, and returns a JSON-serialisable
+// output. Implementations are called concurrently from multiple worker
+// goroutines and must confine all mutable state (RNGs, simulator
+// instances) to the call — see the package comment's concurrency
+// contract.
+type Func func(ctx context.Context, seed uint64, params json.RawMessage) (any, error)
+
+// Registry maps experiment kinds to their implementations. The zero
+// value is not usable; call NewRegistry.
+type Registry struct {
+	mu    sync.RWMutex
+	kinds map[string]Func
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{kinds: make(map[string]Func)}
+}
+
+// Register adds a kind. Registering an empty name, a nil function, or a
+// duplicate kind is an error.
+func (r *Registry) Register(kind string, fn Func) error {
+	if kind == "" {
+		return fmt.Errorf("runner: empty kind name")
+	}
+	if fn == nil {
+		return fmt.Errorf("runner: nil function for kind %q", kind)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.kinds[kind]; dup {
+		return fmt.Errorf("runner: kind %q already registered", kind)
+	}
+	r.kinds[kind] = fn
+	return nil
+}
+
+// MustRegister is Register, panicking on error; for wiring at startup.
+func (r *Registry) MustRegister(kind string, fn Func) {
+	if err := r.Register(kind, fn); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the function for kind.
+func (r *Registry) Lookup(kind string) (Func, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.kinds[kind]
+	return fn, ok
+}
+
+// Kinds returns the registered kind names, sorted.
+func (r *Registry) Kinds() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.kinds))
+	for k := range r.kinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,302 @@
+// Package runner is the experiment orchestration subsystem: it executes
+// a campaign — a slice of self-describing experiment specs — across a
+// pool of workers, with deterministic per-job seeding, panic isolation,
+// cancellation, progress reporting, and an optional JSON-lines artifact
+// store under runs/<timestamp>/.
+//
+// Determinism: each job's seed is derived from the campaign seed and the
+// job's index with stats.Derive, so an 8-worker run produces result
+// records byte-identical to a 1-worker run of the same campaign. Result
+// records never include wall-clock data for the same reason; timing
+// lives in Progress and in the campaign manifest.
+//
+// # Concurrency contract
+//
+// Kind functions (see Registry) run concurrently on multiple goroutines.
+// They must not share mutable state across calls: every stochastic
+// component must draw from an RNG constructed inside the call from the
+// given seed, and every simulator instance must be built inside the
+// call. All simulator substrates in this repository (cpusim, multicore,
+// faultmodel, trace) follow that shape — construction takes a seed and
+// the resulting object is confined to one goroutine.
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Spec is one self-describing experiment: a registered kind plus its
+// JSON-encoded parameters. Specs are the unit of work submitted to the
+// pool and the unit serialised over the pcs-server wire protocol.
+type Spec struct {
+	// Kind names a function in the Registry.
+	Kind string `json:"kind"`
+	// Name optionally labels the job in records and progress output.
+	Name string `json:"name,omitempty"`
+	// Params is the kind-specific parameter document.
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// Campaign is an ordered batch of experiment specs sharing one seed.
+type Campaign struct {
+	Name string `json:"name"`
+	// Seed is the campaign master seed; job i runs with
+	// stats.Derive(Seed, i) unless its kind overrides seeding.
+	Seed uint64 `json:"seed"`
+	Jobs []Spec `json:"jobs"`
+}
+
+// Status is a job's terminal state.
+type Status string
+
+const (
+	// StatusDone marks a job whose kind function returned without error.
+	StatusDone Status = "done"
+	// StatusFailed marks a job whose kind function returned an error or
+	// panicked; the campaign continues.
+	StatusFailed Status = "failed"
+	// StatusCancelled marks a job abandoned because the campaign
+	// context was cancelled.
+	StatusCancelled Status = "cancelled"
+)
+
+// JobResult is the deterministic record of one job. It is what the
+// artifact store writes as one JSON line and what the server streams.
+type JobResult struct {
+	Index  int    `json:"index"`
+	Kind   string `json:"kind"`
+	Name   string `json:"name,omitempty"`
+	Seed   uint64 `json:"seed"`
+	Status Status `json:"status"`
+	Error  string `json:"error,omitempty"`
+	Output any    `json:"output,omitempty"`
+}
+
+// Progress is a snapshot of a running campaign.
+type Progress struct {
+	Total     int `json:"total"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	Running   int `json:"running"`
+	// Elapsed is the wall-clock time since the campaign started.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// JobsPerSec is the completion rate so far (done+failed per second).
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// ETA estimates the remaining wall-clock time from the current rate;
+	// zero until at least one job has finished.
+	ETA time.Duration `json:"eta_ns"`
+}
+
+// Completed returns how many jobs have reached a terminal state.
+func (p Progress) Completed() int { return p.Done + p.Failed + p.Cancelled }
+
+// Options configure one campaign execution.
+type Options struct {
+	// Workers is the pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// ArtifactDir, when non-empty, is the directory (typically
+	// runs/<timestamp>, see NewRunDir) that receives manifest.json and
+	// results.jsonl.
+	ArtifactDir string
+	// OnProgress, when non-nil, is called (serialised) after every job
+	// reaches a terminal state.
+	OnProgress func(Progress)
+	// OnResult, when non-nil, is called (serialised) with each job's
+	// result as it completes, in completion order.
+	OnResult func(JobResult)
+}
+
+// CampaignResult is the outcome of a campaign execution.
+type CampaignResult struct {
+	Name    string `json:"name"`
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+	// Results holds one entry per job, in job-index order.
+	Results []JobResult `json:"results"`
+	Done    int         `json:"done"`
+	Failed  int         `json:"failed"`
+	// Cancelled counts jobs abandoned due to context cancellation.
+	Cancelled   int           `json:"cancelled"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	ArtifactDir string        `json:"artifact_dir,omitempty"`
+}
+
+// JobSeed returns job i's derived seed under campaign seed.
+func JobSeed(campaignSeed uint64, index int) uint64 {
+	return stats.Derive(campaignSeed, uint64(index))
+}
+
+// Run executes every job of the campaign on a worker pool and returns
+// the per-job results in job-index order. The returned error is non-nil
+// only for setup problems (unknown kind, artifact I/O) or context
+// cancellation; individual job failures are reported in the results.
+func Run(ctx context.Context, reg *Registry, c Campaign, opts Options) (*CampaignResult, error) {
+	if len(c.Jobs) == 0 {
+		return nil, fmt.Errorf("runner: campaign %q has no jobs", c.Name)
+	}
+	// Validate every kind up front so a typo fails fast rather than
+	// halfway through an expensive campaign.
+	for i, s := range c.Jobs {
+		if _, ok := reg.Lookup(s.Kind); !ok {
+			return nil, fmt.Errorf("runner: job %d: unknown kind %q (registered: %v)", i, s.Kind, reg.Kinds())
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(c.Jobs) {
+		workers = len(c.Jobs)
+	}
+
+	var store *artifactStore
+	if opts.ArtifactDir != "" {
+		var err error
+		store, err = newArtifactStore(opts.ArtifactDir, c, workers)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	results := make([]JobResult, len(c.Jobs))
+	indices := make(chan int)
+	var (
+		mu   sync.Mutex
+		prog = Progress{Total: len(c.Jobs)}
+		wg   sync.WaitGroup
+	)
+	finish := func(r JobResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		prog.Running--
+		switch r.Status {
+		case StatusFailed:
+			prog.Failed++
+		case StatusCancelled:
+			prog.Cancelled++
+		default:
+			prog.Done++
+		}
+		prog.Elapsed = time.Since(start)
+		if n := prog.Completed(); n > 0 && prog.Elapsed > 0 {
+			prog.JobsPerSec = float64(n) / prog.Elapsed.Seconds()
+			remaining := prog.Total - n
+			prog.ETA = time.Duration(float64(remaining) / prog.JobsPerSec * float64(time.Second))
+		}
+		if opts.OnResult != nil {
+			opts.OnResult(r)
+		}
+		if opts.OnProgress != nil {
+			opts.OnProgress(prog)
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				mu.Lock()
+				prog.Running++
+				mu.Unlock()
+				results[i] = runJob(ctx, reg, c, i)
+				finish(results[i])
+			}
+		}()
+	}
+feed:
+	for i := range c.Jobs {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			// Mark the never-dispatched tail cancelled.
+			for j := i; j < len(c.Jobs); j++ {
+				results[j] = cancelledResult(c, j)
+			}
+			break feed
+		}
+	}
+	close(indices)
+	wg.Wait()
+
+	res := &CampaignResult{
+		Name:    c.Name,
+		Seed:    c.Seed,
+		Workers: workers,
+		Results: results,
+		Elapsed: time.Since(start),
+	}
+	for _, r := range results {
+		switch r.Status {
+		case StatusDone:
+			res.Done++
+		case StatusFailed:
+			res.Failed++
+		case StatusCancelled:
+			res.Cancelled++
+		}
+	}
+	if store != nil {
+		res.ArtifactDir = store.dir
+		if err := store.finish(results, res); err != nil {
+			return res, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// runJob executes one job with panic isolation: a panicking kind
+// function marks its own job failed instead of killing the campaign.
+func runJob(ctx context.Context, reg *Registry, c Campaign, i int) (res JobResult) {
+	spec := c.Jobs[i]
+	res = JobResult{Index: i, Kind: spec.Kind, Name: spec.Name, Seed: JobSeed(c.Seed, i)}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Status = StatusFailed
+			res.Output = nil
+			res.Error = fmt.Sprintf("panic: %v\n%s", p, debug.Stack())
+		}
+	}()
+	if ctx.Err() != nil {
+		return cancelledResult(c, i)
+	}
+	fn, _ := reg.Lookup(spec.Kind)
+	out, err := fn(ctx, res.Seed, spec.Params)
+	if err != nil {
+		if ctx.Err() != nil {
+			res.Status = StatusCancelled
+			res.Error = context.Cause(ctx).Error()
+			return res
+		}
+		res.Status = StatusFailed
+		res.Error = err.Error()
+		return res
+	}
+	res.Status = StatusDone
+	res.Output = out
+	return res
+}
+
+func cancelledResult(c Campaign, i int) JobResult {
+	return JobResult{
+		Index:  i,
+		Kind:   c.Jobs[i].Kind,
+		Name:   c.Jobs[i].Name,
+		Seed:   JobSeed(c.Seed, i),
+		Status: StatusCancelled,
+		Error:  context.Canceled.Error(),
+	}
+}

@@ -1,0 +1,436 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Server turns the campaign runner into an HTTP job service — the
+// pcs-server wire surface:
+//
+//	POST   /campaigns               submit a campaign, returns its id
+//	GET    /campaigns               list campaigns
+//	GET    /campaigns/{id}          status, progress and ETA
+//	GET    /campaigns/{id}/results  JSONL stream of completed records
+//	DELETE /campaigns/{id}          cancel a running campaign
+//	GET    /metrics                 Prometheus-style runner gauges
+//
+// Campaigns execute asynchronously on the server's worker pools; status
+// and partial results are available while a campaign runs. All state is
+// in memory plus the optional runs/ artifact directory.
+type Server struct {
+	reg *Registry
+
+	// defaultWorkers sizes pools for submissions that do not specify
+	// workers; <= 0 resolves to GOMAXPROCS at submission time.
+	defaultWorkers int
+	// artifactRoot, when non-empty, gives every campaign a run
+	// directory under <artifactRoot>/<id>/.
+	artifactRoot string
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	campaigns map[string]*campaignState
+	order     []string // submission order, for listing
+	nextID    int
+	started   time.Time
+}
+
+// ServerOptions configure NewServer.
+type ServerOptions struct {
+	// DefaultWorkers is used when a submission omits "workers".
+	DefaultWorkers int
+	// ArtifactRoot, when non-empty, archives every campaign under
+	// <ArtifactRoot>/<campaign id>/.
+	ArtifactRoot string
+}
+
+// campaignState tracks one submitted campaign.
+type campaignState struct {
+	id       string
+	campaign Campaign
+	workers  int
+	cancel   context.CancelFunc
+
+	mu       sync.Mutex
+	state    string // "running", "done", "failed", "cancelled"
+	progress Progress
+	results  []*JobResult // indexed by job, nil until complete
+	started  time.Time
+	finished time.Time
+}
+
+// NewServer returns a server executing campaigns against reg.
+func NewServer(reg *Registry, opts ServerOptions) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		reg:            reg,
+		defaultWorkers: opts.DefaultWorkers,
+		artifactRoot:   opts.ArtifactRoot,
+		baseCtx:        ctx,
+		stop:           cancel,
+		campaigns:      make(map[string]*campaignState),
+		started:        time.Now(),
+	}
+}
+
+// Close cancels every running campaign and waits for their workers to
+// drain; it is the graceful-shutdown half pcs-server calls after the
+// HTTP listener stops accepting requests.
+func (s *Server) Close() {
+	s.stop()
+	s.wg.Wait()
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// submitRequest is the POST /campaigns body.
+type submitRequest struct {
+	Name    string `json:"name"`
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers,omitempty"`
+	Jobs    []Spec `json:"jobs"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad campaign body: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, "campaign has no jobs")
+		return
+	}
+	for i, spec := range req.Jobs {
+		if _, ok := s.reg.Lookup(spec.Kind); !ok {
+			httpError(w, http.StatusBadRequest, "job %d: unknown kind %q (registered: %v)",
+				i, spec.Kind, s.reg.Kinds())
+			return
+		}
+	}
+	if s.baseCtx.Err() != nil {
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+
+	// Resolve the pool size now, mirroring Run, so status and metrics
+	// report the actual worker count rather than the raw option.
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.defaultWorkers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(req.Jobs) {
+		workers = len(req.Jobs)
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	cs := &campaignState{
+		campaign: Campaign{Name: req.Name, Seed: req.Seed, Jobs: req.Jobs},
+		workers:  workers,
+		cancel:   cancel,
+		state:    "running",
+		progress: Progress{Total: len(req.Jobs)},
+		results:  make([]*JobResult, len(req.Jobs)),
+		started:  time.Now(),
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	cs.id = fmt.Sprintf("c%06d", s.nextID)
+	s.campaigns[cs.id] = cs
+	s.order = append(s.order, cs.id)
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.execute(ctx, cs)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]any{
+		"id":          cs.id,
+		"jobs":        len(req.Jobs),
+		"status_url":  "/campaigns/" + cs.id,
+		"results_url": "/campaigns/" + cs.id + "/results",
+	})
+}
+
+// execute runs one campaign to completion on its own goroutine.
+func (s *Server) execute(ctx context.Context, cs *campaignState) {
+	defer s.wg.Done()
+	defer cs.cancel()
+	opts := Options{
+		Workers: cs.workers,
+		OnProgress: func(p Progress) {
+			cs.mu.Lock()
+			cs.progress = p
+			cs.mu.Unlock()
+		},
+		OnResult: func(r JobResult) {
+			cs.mu.Lock()
+			cs.results[r.Index] = &r
+			cs.mu.Unlock()
+		},
+	}
+	if s.artifactRoot != "" {
+		opts.ArtifactDir = filepath.Join(s.artifactRoot, cs.id)
+	}
+	res, err := Run(ctx, s.reg, cs.campaign, opts)
+
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.finished = time.Now()
+	if res != nil {
+		// Cancellation marks never-dispatched jobs after Run returns;
+		// copy the authoritative final records.
+		for i := range res.Results {
+			r := res.Results[i]
+			cs.results[i] = &r
+		}
+	}
+	switch {
+	case ctx.Err() != nil:
+		cs.state = "cancelled"
+	case err != nil:
+		cs.state = "failed"
+	default:
+		cs.state = "done"
+	}
+}
+
+func (s *Server) lookup(id string) *campaignState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.campaigns[id]
+}
+
+// statusView is the GET /campaigns/{id} document.
+type statusView struct {
+	ID       string    `json:"id"`
+	Name     string    `json:"name"`
+	State    string    `json:"state"`
+	Seed     uint64    `json:"seed"`
+	Workers  int       `json:"workers"`
+	Progress Progress  `json:"progress"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	// CompletedResults counts records available on the results stream.
+	CompletedResults int    `json:"completed_results"`
+	ResultsURL       string `json:"results_url"`
+}
+
+func (cs *campaignState) view() statusView {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	n := 0
+	for _, r := range cs.results {
+		if r != nil {
+			n++
+		}
+	}
+	return statusView{
+		ID:               cs.id,
+		Name:             cs.campaign.Name,
+		State:            cs.state,
+		Seed:             cs.campaign.Seed,
+		Workers:          cs.workers,
+		Progress:         cs.progress,
+		Started:          cs.started,
+		Finished:         cs.finished,
+		CompletedResults: n,
+		ResultsURL:       "/campaigns/" + cs.id + "/results",
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	cs := s.lookup(r.PathValue("id"))
+	if cs == nil {
+		httpError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	writeJSONResponse(w, cs.view())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	views := make([]statusView, 0, len(ids))
+	for _, id := range ids {
+		if cs := s.lookup(id); cs != nil {
+			views = append(views, cs.view())
+		}
+	}
+	writeJSONResponse(w, map[string]any{"campaigns": views})
+}
+
+// handleResults streams the completed records as JSON lines in
+// job-index order; for a running campaign this is the partial result
+// set so far.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	cs := s.lookup(r.PathValue("id"))
+	if cs == nil {
+		httpError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	cs.mu.Lock()
+	records := make([]*JobResult, 0, len(cs.results))
+	for _, rec := range cs.results {
+		if rec != nil {
+			records = append(records, rec)
+		}
+	}
+	cs.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for _, rec := range records {
+		if err := enc.Encode(rec); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	cs := s.lookup(r.PathValue("id"))
+	if cs == nil {
+		httpError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	cs.cancel()
+	writeJSONResponse(w, map[string]string{"id": cs.id, "state": "cancelling"})
+}
+
+// Metrics is a snapshot of the server's aggregate gauges.
+type Metrics struct {
+	CampaignsTotal   int
+	CampaignsRunning int
+	JobsQueued       int
+	JobsRunning      int
+	JobsDone         int
+	JobsFailed       int
+	Workers          int
+	// Utilization is running jobs over configured workers of running
+	// campaigns, in [0, 1].
+	Utilization float64
+	// JobsPerSec aggregates the completion rate of running campaigns;
+	// when idle it falls back to the lifetime average.
+	JobsPerSec float64
+}
+
+// Snapshot computes the current metrics.
+func (s *Server) Snapshot() Metrics {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+
+	var m Metrics
+	var lifetimeDone int
+	var runningRate float64
+	for _, id := range ids {
+		cs := s.lookup(id)
+		if cs == nil {
+			continue
+		}
+		cs.mu.Lock()
+		m.CampaignsTotal++
+		done := cs.progress.Done
+		failed := cs.progress.Failed
+		running := cs.progress.Running
+		completed := cs.progress.Completed()
+		total := cs.progress.Total
+		lifetimeDone += completed
+		if cs.state == "running" {
+			m.CampaignsRunning++
+			m.JobsRunning += running
+			m.JobsQueued += total - completed - running
+			m.Workers += cs.workers
+			runningRate += cs.progress.JobsPerSec
+		}
+		m.JobsDone += done
+		m.JobsFailed += failed
+		cs.mu.Unlock()
+	}
+	if m.Workers > 0 {
+		m.Utilization = float64(m.JobsRunning) / float64(m.Workers)
+	}
+	m.JobsPerSec = runningRate
+	if m.CampaignsRunning == 0 {
+		if secs := time.Since(s.started).Seconds(); secs > 0 {
+			m.JobsPerSec = float64(lifetimeDone) / secs
+		}
+	}
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fields := []struct {
+		name string
+		help string
+		val  float64
+	}{
+		{"pcs_campaigns_total", "Campaigns submitted since server start.", float64(m.CampaignsTotal)},
+		{"pcs_campaigns_running", "Campaigns currently executing.", float64(m.CampaignsRunning)},
+		{"pcs_jobs_queued", "Jobs waiting for a worker.", float64(m.JobsQueued)},
+		{"pcs_jobs_running", "Jobs currently executing.", float64(m.JobsRunning)},
+		{"pcs_jobs_done", "Jobs completed successfully.", float64(m.JobsDone)},
+		{"pcs_jobs_failed", "Jobs that returned an error or panicked.", float64(m.JobsFailed)},
+		{"pcs_workers", "Configured workers across running campaigns.", float64(m.Workers)},
+		{"pcs_worker_utilization", "Running jobs per configured worker.", m.Utilization},
+		{"pcs_jobs_per_second", "Aggregate job completion rate.", m.JobsPerSec},
+	}
+	for _, f := range fields {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", f.name, f.help, f.name, f.name, f.val)
+	}
+}
+
+// Kinds returns the sorted kind names the server accepts, for startup
+// logging.
+func (s *Server) Kinds() []string {
+	k := s.reg.Kinds()
+	sort.Strings(k)
+	return k
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSONResponse(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

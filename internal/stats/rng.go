@@ -5,6 +5,16 @@
 // synthetic workload generators, fault placement) draws from an explicitly
 // seeded RNG from this package so that experiments are reproducible
 // bit-for-bit across runs and platforms.
+//
+// # Concurrency contract
+//
+// An RNG carries mutable stream state and is NOT safe for concurrent
+// use. The package holds no global RNG and no other shared mutable
+// state, so the rule is purely per-instance: construct one RNG per
+// goroutine (or per job), either with NewRNG and a distinct seed, with
+// Split on a goroutine-local parent, or with Derive to map a campaign
+// seed plus a job index onto an independent child seed. Two goroutines
+// must never share an *RNG without external locking.
 package stats
 
 import "math"
@@ -63,6 +73,18 @@ func (r *RNG) Uint64() uint64 {
 // The parent stream advances by one draw.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
+}
+
+// Derive maps a (seed, stream) pair onto a child seed, so that a fixed
+// campaign seed plus a job index yields the same per-job RNG regardless
+// of the order or parallelism in which jobs execute. Unlike Split it
+// consumes no parent stream state: it is a pure function, safe to call
+// concurrently, and any two distinct stream indices give statistically
+// independent children.
+func Derive(seed, stream uint64) uint64 {
+	sm := seed ^ (stream+1)*0x9e3779b97f4a7c15
+	splitMix64(&sm)
+	return splitMix64(&sm)
 }
 
 // Float64 returns a uniform float64 in [0, 1).
