@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check figures clean
+.PHONY: all build vet test race check bench figures clean
 
 all: check
 
@@ -23,6 +23,16 @@ race:
 	$(GO) test -race ./...
 
 check: vet race
+
+# Benchmark snapshot: runs every benchmark (the figure pipelines in the
+# root bench_test.go, the policy-tick hot path, the metrics registry)
+# once each with allocation stats and archives the test2json stream as
+# BENCH_<date>.json for before/after comparison. Drop BENCHTIME for
+# steady-state numbers.
+BENCHTIME ?= 1x
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -json . ./internal/core ./internal/obs > BENCH_$(shell date +%Y%m%d).json
+	@echo "wrote BENCH_$(shell date +%Y%m%d).json"
 
 figures:
 	$(GO) run ./cmd/pcs-figures

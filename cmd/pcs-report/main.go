@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	pcs-report [-o report.md] [-instr N] [-quick]
+//	pcs-report [-o report.md] [-instr N] [-quick] [-timeline file]
 //
 // -quick shrinks the simulation windows ~10x for a fast smoke run; the
 // full default takes tens of minutes.
+//
+// -timeline skips the full reproduction and instead renders a policy
+// timeline (a JSONL file written by pcs-sim -timeline or pcs-sweep
+// -timeline) as VDD-vs-time tables: the transition trajectory and the
+// per-level residency. The full report includes the same section from a
+// short in-process DPCS run.
 package main
 
 import (
@@ -19,22 +25,31 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/cpusim"
 	"repro/internal/expers"
+	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pcs-report: ")
 	var (
-		out   = flag.String("o", "report.md", "output Markdown path")
-		instr = flag.Uint64("instr", 24_000_000, "measured instructions per simulation run")
-		quick = flag.Bool("quick", false, "use ~10x smaller simulation windows")
+		out      = flag.String("o", "report.md", "output Markdown path")
+		instr    = flag.Uint64("instr", 24_000_000, "measured instructions per simulation run")
+		quick    = flag.Bool("quick", false, "use ~10x smaller simulation windows")
+		timeline = flag.String("timeline", "", "render this policy timeline JSONL as VDD-vs-time tables and exit")
+		clockGHz = flag.Float64("clock", 2.0, "clock for -timeline cycle-to-time conversion (GHz; Config A = 2, B = 3)")
 	)
 	flag.Parse()
 	if *quick {
 		*instr = 2_000_000
+	}
+	if *timeline != "" {
+		renderTimeline(*timeline, *clockGHz*1e9)
+		return
 	}
 
 	f, err := os.Create(*out)
@@ -132,8 +147,48 @@ func main() {
 		cpusim.RunOptions{WarmupInstr: opts.WarmupInstr, SimInstr: minU(*instr, 8_000_000), Seed: 1})
 	table(must(tab, err))
 
+	section("DPCS VDD trajectory (bzip2.s, Config A)")
+	w, ok := trace.ByName("bzip2.s")
+	if !ok {
+		log.Fatal("benchmark bzip2.s missing from suite")
+	}
+	col := &obs.Collector{}
+	trRun, err := cpusim.Run(cpusim.ConfigA(), core.DPCS, w, cpusim.RunOptions{
+		WarmupInstr: opts.WarmupInstr, SimInstr: minU(*instr, 4_000_000), Seed: 1, Sink: col,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	table(expers.VDDTrajectoryTable(col.Events, cpusim.ConfigA().ClockHz, 24))
+	table(expers.VDDResidencyTable(col.Events, trRun.Cycles))
+
 	fmt.Fprintf(f, "---\nTotal generation time: %s\n", time.Since(start).Round(time.Second))
 	fmt.Println("wrote", *out)
+}
+
+// renderTimeline re-renders a saved policy timeline as VDD-vs-time
+// tables on stdout.
+func renderTimeline(path string, clockHz float64) {
+	events, err := obs.ReadPolicyTimeline(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The run length is not recorded in the timeline; the last observed
+	// event cycle is the best lower bound for the residency replay.
+	var end uint64
+	for _, ev := range events {
+		if ev.Cycle > end {
+			end = ev.Cycle
+		}
+	}
+	for _, t := range []*report.Table{
+		expers.VDDTrajectoryTable(events, clockHz, 40),
+		expers.VDDResidencyTable(events, end),
+	} {
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 func minU(a, b uint64) uint64 {

@@ -7,9 +7,14 @@
 //	GET    /campaigns               list campaigns
 //	GET    /campaigns/{id}          status, progress, ETA
 //	GET    /campaigns/{id}/results  stream result records as JSON lines
+//	GET    /campaigns/{id}/events   stream job lifecycle events (NDJSON)
 //	DELETE /campaigns/{id}          cancel a campaign
-//	GET    /metrics                 runner gauges (queued/running/done,
-//	                                worker utilization, jobs/sec)
+//	GET    /metrics                 Prometheus exposition (counters,
+//	                                gauges, per-kind duration histograms)
+//
+// Every request is logged structurally (log/slog: request id, method,
+// path, status, bytes, duration); -pprof additionally mounts the
+// net/http/pprof profiling handlers under /debug/pprof/.
 //
 // The server drains gracefully on SIGTERM/SIGINT: the listener stops
 // accepting requests, running campaigns are cancelled (simulations stop
@@ -17,62 +22,84 @@
 //
 // Usage:
 //
-//	pcs-server [-addr :8080] [-workers N] [-runs dir]
+//	pcs-server [-addr :8080] [-workers N] [-runs dir] [-pprof] [-log-json]
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/expers"
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("pcs-server: ")
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "default workers per campaign (0 = GOMAXPROCS)")
-		runsRoot = flag.String("runs", "runs", "artifact root directory (empty = no artifacts)")
-		grace    = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "default workers per campaign (0 = GOMAXPROCS)")
+		runsRoot  = flag.String("runs", "runs", "artifact root directory (empty = no artifacts)")
+		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+		withPprof = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		logJSON   = flag.Bool("log-json", false, "emit JSON log lines instead of key=value text")
 	)
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 
 	srv := runner.NewServer(expers.NewCampaignRegistry(), runner.ServerOptions{
 		DefaultWorkers: *workers,
 		ArtifactRoot:   *runsRoot,
+		Logger:         logger,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *withPprof {
+		// Opt-in only: profiling endpoints expose heap contents and must
+		// not be reachable on a default deployment.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: obs.RequestLogger(logger, mux)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s (kinds: %v)", *addr, srv.Kinds())
+	logger.Info("listening", "addr", *addr, "kinds", srv.Kinds(), "pprof", *withPprof)
 
 	select {
 	case err := <-errCh:
 		// Listener died before any signal; nothing to drain.
-		log.Fatal(err)
+		logger.Error("listen", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Printf("signal received, draining (grace %s)", *grace)
+	logger.Info("signal received, draining", "grace", *grace)
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Error("shutdown", "err", err)
 	}
 	// Cancel running campaigns and wait for their workers.
 	srv.Close()
-	log.Printf("drained, exiting")
+	logger.Info("drained, exiting")
 }

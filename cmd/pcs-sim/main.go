@@ -7,7 +7,12 @@
 // Usage:
 //
 //	pcs-sim [-config A|B|both] [-instr N] [-warmup N] [-seed S]
-//	        [-bench name] [-configs] [-csv] [-q]
+//	        [-bench name] [-timeline file] [-configs] [-csv] [-q]
+//
+// -timeline (single-benchmark mode) records the DPCS run's typed policy
+// telemetry — every interval decision and voltage transition — as JSON
+// lines, and prints the VDD trajectory and residency tables; feed the
+// file to pcs-report -timeline to re-render it later.
 //
 // The default instruction counts are large enough for the one-time DPCS
 // transition costs to amortise as they would at the paper's
@@ -24,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpusim"
 	"repro/internal/expers"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
@@ -32,14 +38,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pcs-sim: ")
 	var (
-		config  = flag.String("config", "both", "system configuration: A, B or both")
-		instr   = flag.Uint64("instr", 24_000_000, "measured instructions per run")
-		warmup  = flag.Uint64("warmup", 2_000_000, "warm-up instructions (fast-forward)")
-		seed    = flag.Uint64("seed", 1, "seed for fault maps and workloads")
-		bench   = flag.String("bench", "", "run a single named benchmark (e.g. mcf.s)")
-		configs = flag.Bool("configs", false, "print Tables 1-2 style configuration and exit")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		quiet   = flag.Bool("q", false, "suppress per-run progress lines")
+		config   = flag.String("config", "both", "system configuration: A, B or both")
+		instr    = flag.Uint64("instr", 24_000_000, "measured instructions per run")
+		warmup   = flag.Uint64("warmup", 2_000_000, "warm-up instructions (fast-forward)")
+		seed     = flag.Uint64("seed", 1, "seed for fault maps and workloads")
+		bench    = flag.String("bench", "", "run a single named benchmark (e.g. mcf.s)")
+		configs  = flag.Bool("configs", false, "print Tables 1-2 style configuration and exit")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet    = flag.Bool("q", false, "suppress per-run progress lines")
+		timeline = flag.String("timeline", "", "with -bench: write the DPCS policy timeline to this JSONL file")
 	)
 	flag.Parse()
 
@@ -79,9 +86,13 @@ func main() {
 		}
 	}
 
+	if *timeline != "" && *bench == "" {
+		log.Fatal("-timeline needs -bench (it records one DPCS run)")
+	}
+
 	for _, cfg := range cfgs {
 		if *bench != "" {
-			runSingle(cfg, *bench, opts)
+			runSingle(cfg, *bench, opts, *timeline)
 			continue
 		}
 		if progress != nil {
@@ -100,12 +111,19 @@ func main() {
 	}
 }
 
-func runSingle(cfg cpusim.SystemConfig, name string, opts cpusim.RunOptions) {
+func runSingle(cfg cpusim.SystemConfig, name string, opts cpusim.RunOptions, timeline string) {
 	w, ok := trace.ByName(name)
 	if !ok {
 		log.Fatalf("unknown benchmark %q (known: %v)", name, trace.Names())
 	}
 	for _, mode := range []core.Mode{core.Baseline, core.SPCS, core.DPCS} {
+		var col *obs.Collector
+		if timeline != "" && mode == core.DPCS {
+			col = &obs.Collector{}
+			opts.Sink = col
+		} else {
+			opts.Sink = nil
+		}
 		r, err := cpusim.Run(cfg, mode, w, opts)
 		if err != nil {
 			log.Fatal(err)
@@ -116,6 +134,36 @@ func runSingle(cfg cpusim.SystemConfig, name string, opts cpusim.RunOptions) {
 				cr.Name, cr.Stats.Accesses, cr.Stats.Misses, cr.Stats.MissRate(),
 				cr.Stats.Writebacks, cr.Transitions,
 				cr.Energy.StaticJ*1e3, cr.Energy.DynamicJ*1e3)
+		}
+		if col != nil {
+			writeTimeline(timeline, col.Events)
+			renderTrajectory(col.Events, cfg.ClockHz, r.Cycles)
+		}
+	}
+}
+
+// writeTimeline saves the collected policy events as JSON lines.
+func writeTimeline(path string, events []obs.PolicyEvent) {
+	sink, err := obs.CreateJSONL(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range events {
+		sink.Record(ev)
+	}
+	if err := sink.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d policy events to %s", len(events), path)
+}
+
+func renderTrajectory(events []obs.PolicyEvent, clockHz float64, endCycle uint64) {
+	for _, t := range []*report.Table{
+		expers.VDDTrajectoryTable(events, clockHz, 32),
+		expers.VDDResidencyTable(events, endCycle),
+	} {
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
 		}
 	}
 }

@@ -16,7 +16,12 @@
 // Usage:
 //
 //	pcs-sweep [-assoc] [-levels] [-dpcs] [-bench name] [-instr N]
-//	          [-workers N] [-json] [-runs dir]
+//	          [-workers N] [-json] [-runs dir] [-timeline]
+//
+// -timeline (with -runs) additionally records each simulation job's
+// typed DPCS policy telemetry as policy-<index>.jsonl next to the
+// campaign's results.jsonl: the runner attaches a per-job sink to the
+// job context and the cpusim kind picks it up.
 package main
 
 import (
@@ -27,9 +32,11 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/cpusim"
 	"repro/internal/expers"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runner"
 )
@@ -41,6 +48,7 @@ type harness struct {
 	jsonOut  bool
 	runsRoot string
 	progress bool
+	timeline bool
 }
 
 func main() {
@@ -59,10 +67,14 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit tables as JSON instead of text")
 		runsRoot = flag.String("runs", "", "archive campaign records under this directory (e.g. runs)")
 		progress = flag.Bool("progress", false, "log campaign progress to stderr")
+		timeline = flag.Bool("timeline", false, "with -runs: record per-job DPCS policy timelines (policy-<index>.jsonl)")
 	)
 	flag.Parse()
 	if !(*assoc || *levels || *dpcs || *ablate || *cells || *leak) {
 		*assoc, *levels, *dpcs, *ablate, *cells, *leak = true, true, true, true, true, true
+	}
+	if *timeline && *runsRoot == "" {
+		log.Fatal("-timeline needs -runs (per-job timelines live next to the campaign records)")
 	}
 	h := &harness{
 		reg:      expers.NewCampaignRegistry(),
@@ -70,6 +82,7 @@ func main() {
 		jsonOut:  *jsonOut,
 		runsRoot: *runsRoot,
 		progress: *progress,
+		timeline: *timeline,
 	}
 	if *assoc {
 		h.sweepAssoc()
@@ -130,7 +143,34 @@ func (h *harness) runCampaign(name string, seed uint64, jobs []runner.Spec) []ru
 				name, p.Completed(), p.Total, p.JobsPerSec, p.ETA.Round(1e8))
 		}
 	}
+	// Per-job policy timelines: attach a JSONL sink to each job's
+	// context; the simulation kinds pick it up via
+	// obs.PolicySinkFromContext. Sinks are closed after the campaign so
+	// partial writes from a crashed run still flush what they can.
+	var (
+		sinkMu sync.Mutex
+		sinks  []*obs.JSONLSink
+	)
+	if h.timeline && opts.ArtifactDir != "" {
+		opts.JobContext = func(ctx context.Context, i int, _ runner.Spec) context.Context {
+			path := filepath.Join(opts.ArtifactDir, fmt.Sprintf("policy-%03d.jsonl", i))
+			sink, err := obs.CreateJSONL(path)
+			if err != nil {
+				log.Printf("%s: job %d timeline: %v", name, i, err)
+				return ctx
+			}
+			sinkMu.Lock()
+			sinks = append(sinks, sink)
+			sinkMu.Unlock()
+			return obs.ContextWithPolicySink(ctx, sink)
+		}
+	}
 	res, err := runner.Run(context.Background(), h.reg, runner.Campaign{Name: name, Seed: seed, Jobs: jobs}, opts)
+	for _, sink := range sinks {
+		if cerr := sink.Close(); cerr != nil {
+			log.Printf("%s: close timeline: %v", name, cerr)
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cacti"
 	"repro/internal/faultmap"
+	"repro/internal/obs"
 )
 
 // Mode selects the cache management policy.
@@ -96,6 +97,10 @@ type Controller struct {
 	transitionWBs     uint64
 	timeAtLevelCycles []uint64 // indexed by level-1
 
+	// obsSink, when non-nil, receives one DecisionTransition event per
+	// Transition call; see SetSink.
+	obsSink obs.PolicySink
+
 	// pendingRefill records the block addresses a transition invalidated
 	// whose next miss is a one-time refill rather than steady-state
 	// damage; refillMisses counts how many such misses have occurred.
@@ -144,6 +149,12 @@ func NewController(mode Mode, c *cache.Cache, m *faultmap.Map, levels faultmap.L
 		timeAtLevelCycles:    make([]uint64, levels.N()),
 	}, nil
 }
+
+// SetSink attaches a telemetry sink. Every subsequent Transition call
+// emits exactly one DecisionTransition event, so counting those events
+// reconciles with Transitions() and summing their Writebacks fields with
+// TransitionWritebacks(). A nil sink disables emission.
+func (ct *Controller) SetSink(s obs.PolicySink) { ct.obsSink = s }
 
 // Level returns the current 1-based VDD level.
 func (ct *Controller) Level() int { return ct.level }
@@ -253,6 +264,20 @@ func (ct *Controller) Transition(next int, now uint64, sink func(addr uint64)) T
 	ct.transitions++
 	ct.transitionCycles += res.PenaltyCycles
 	ct.transitionWBs += uint64(res.Writebacks)
+	if ct.obsSink != nil {
+		ct.obsSink.Record(obs.PolicyEvent{
+			Cycle:         now,
+			CacheName:     ct.Cache.Name(),
+			Decision:      obs.DecisionTransition,
+			FromLevel:     res.FromLevel,
+			ToLevel:       res.ToLevel,
+			FromVDD:       ct.Levels.Volts(res.FromLevel),
+			ToVDD:         ct.Levels.Volts(res.ToLevel),
+			Writebacks:    res.Writebacks,
+			Invalidations: res.Invalidations,
+			PenaltyCycles: res.PenaltyCycles,
+		})
+	}
 	return res
 }
 

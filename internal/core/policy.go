@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 )
 
 // ApplySPCS moves a controller to its SPCS operating point (the given
@@ -147,9 +148,9 @@ type DPCSPolicy struct {
 	// Decision counters for reports.
 	Ups, Downs, Resets int
 
-	// Trace, when non-nil, receives a line per interval decision for
-	// debugging and the pcs-sweep harness's -trace mode.
-	Trace func(format string, args ...any)
+	// sink, when non-nil, receives one typed obs.PolicyEvent per interval
+	// decision; see SetSink.
+	sink obs.PolicySink
 }
 
 // phaseChangeRelDiff is the relative miss-rate change that counts as a
@@ -187,6 +188,23 @@ func NewDPCS(cfg DPCSConfig, ctrl *Controller) (*DPCSPolicy, error) {
 // The decision machinery stays dormant until Arm is called.
 func (d *DPCSPolicy) Start(sink func(addr uint64)) TransitionResult {
 	return d.ctrl.Transition(d.cfg.SPCSLevel, 0, sink)
+}
+
+// SetSink attaches a telemetry sink receiving one typed event per
+// interval decision (the structured successor of the old printf trace
+// hook). With a nil sink — or obs.NopSink — the policy's per-tick path
+// performs zero heap allocations. Attach the same sink to the
+// controller (Controller.SetSink) to also capture the raw Listing-2
+// transition events.
+func (d *DPCSPolicy) SetSink(s obs.PolicySink) { d.sink = s }
+
+// emit forwards one decision event, filling in the cache identity.
+func (d *DPCSPolicy) emit(ev obs.PolicyEvent) {
+	if d.sink == nil {
+		return
+	}
+	ev.CacheName = d.ctrl.Cache.Name()
+	d.sink.Record(ev)
 }
 
 // Arm activates the decision machinery, marking the current statistics
@@ -256,6 +274,11 @@ func (d *DPCSPolicy) Tick(now uint64, sink func(addr uint64)) (stall uint64) {
 		if d.ctrl.Level() == d.cfg.SPCSLevel {
 			d.naat = d.aat(window)
 			d.naatMr = float64(window.Misses) / float64(maxU64(window.Accesses, 1))
+			d.emit(obs.PolicyEvent{Cycle: now, Decision: obs.DecisionCalibrate,
+				MissRate: d.naatMr, NAAT: d.naat})
+		} else {
+			d.emit(obs.PolicyEvent{Cycle: now, Decision: obs.DecisionNone,
+				NAAT: d.naat})
 		}
 		d.intervalCount++
 	case d.intervalCount == d.cfg.SuperInterval-1:
@@ -272,12 +295,19 @@ func (d *DPCSPolicy) Tick(now uint64, sink func(addr uint64)) (stall uint64) {
 		// Stationary unless the miss rate moved by both an absolute and
 		// a relative margin (same scale as the phase-change detector).
 		stationary := !(mrDiff > phaseChangeAbsDiff && mrDiff > 0.5*d.naatMr)
-		if d.ctrl.Level() != d.cfg.SPCSLevel &&
-			(d.maxSlowdown >= d.cfg.HighThreshold/2 || !stationary || d.cfg.Ablate.NoSkipReset) {
-			res := d.ctrl.Transition(d.cfg.SPCSLevel, now, sink)
-			stall = res.PenaltyCycles
-			d.Resets++
+		dec := obs.DecisionNone
+		if d.ctrl.Level() != d.cfg.SPCSLevel {
+			if d.maxSlowdown >= d.cfg.HighThreshold/2 || !stationary || d.cfg.Ablate.NoSkipReset {
+				res := d.ctrl.Transition(d.cfg.SPCSLevel, now, sink)
+				stall = res.PenaltyCycles
+				d.Resets++
+				dec = obs.DecisionReset
+			} else {
+				dec = obs.DecisionSkipReset
+			}
 		}
+		d.emit(obs.PolicyEvent{Cycle: now, Decision: dec,
+			Interval: uint64(d.intervalCount), MissRate: mrNow, NAAT: d.naat})
 		d.maxSlowdown = 0
 		d.intervalCount = 0
 		d.holdUntilReset = false
@@ -313,10 +343,6 @@ func (d *DPCSPolicy) Tick(now uint64, sink func(addr uint64)) (stall uint64) {
 		if d.ctrl.Level() != d.cfg.SPCSLevel && slowdown > d.maxSlowdown && d.graceLeft == 0 {
 			d.maxSlowdown = slowdown
 		}
-		if d.Trace != nil {
-			d.Trace("ic=%d lvl=%d caat=%.3f naat=%.3f mr=%.5f slow=%.4f grace=%d bad=%v badMr=%.5f hold=%v",
-				d.intervalCount, d.ctrl.Level(), caat, d.naat, mr, slowdown, d.graceLeft, d.badActive, d.badMissRate, d.holdUntilReset)
-		}
 		// Going down pays the transition penalty (amortised over the
 		// interval) before any savings accrue, so the down decision
 		// includes it.
@@ -326,9 +352,11 @@ func (d *DPCSPolicy) Tick(now uint64, sink func(addr uint64)) (stall uint64) {
 			floor = d.badLevel + 1
 		}
 		hold := d.holdUntilReset && !d.cfg.Ablate.NoHoldLatch
+		dec := obs.DecisionNone
 		switch {
 		case d.graceLeft > 0:
 			d.graceLeft--
+			dec = obs.DecisionHold
 		case slowdown > d.cfg.HighThreshold && d.ctrl.Level() < d.cfg.SPCSLevel:
 			d.badLevel = d.ctrl.Level()
 			d.badActive = true
@@ -337,6 +365,7 @@ func (d *DPCSPolicy) Tick(now uint64, sink func(addr uint64)) (stall uint64) {
 			stall = res.PenaltyCycles
 			d.Ups++
 			d.holdUntilReset = true
+			dec = obs.DecisionUp
 		case caatRaw < downRef && d.ctrl.Level() > floor && !hold:
 			res := d.ctrl.Transition(d.ctrl.Level()-1, now, sink)
 			stall = res.PenaltyCycles
@@ -346,7 +375,14 @@ func (d *DPCSPolicy) Tick(now uint64, sink func(addr uint64)) (stall uint64) {
 			// steady-state degradation, so the grace period scales with
 			// the invalidation count.
 			d.graceLeft = 1
+			dec = obs.DecisionDown
+		case caatRaw < downRef && d.ctrl.Level() > floor && hold:
+			// The descent condition held but the post-escape latch
+			// suppressed it.
+			dec = obs.DecisionHold
 		}
+		d.emit(obs.PolicyEvent{Cycle: now, Decision: dec,
+			Interval: uint64(d.intervalCount), MissRate: mr, CAAT: caat, NAAT: d.naat})
 		d.intervalCount++
 	}
 	return stall

@@ -19,7 +19,7 @@ type policyRig struct {
 	now   uint64
 }
 
-func newPolicyRig(t *testing.T) *policyRig {
+func newPolicyRig(t testing.TB) *policyRig {
 	t.Helper()
 	c := cache.MustNew(cache.Config{Name: "p", SizeBytes: 16 << 10, Assoc: 4, BlockBytes: 64})
 	levels := faultmap.MustLevels(0.54, 0.70, 1.00)
@@ -56,7 +56,7 @@ func newPolicyRig(t *testing.T) *policyRig {
 // given miss rate (by alternating between a resident block and fresh
 // addresses) and then ticks the policy, advancing a synthetic clock with
 // cycles proportional to the observed cost.
-func (r *policyRig) runInterval(t *testing.T, missFrac float64) uint64 {
+func (r *policyRig) runInterval(t testing.TB, missFrac float64) uint64 {
 	t.Helper()
 	n := int(r.cfg.Interval)
 	misses := int(missFrac * float64(n))

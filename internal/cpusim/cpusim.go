@@ -28,6 +28,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/faultmap"
 	"repro/internal/faultmodel"
+	"repro/internal/obs"
 	"repro/internal/sram"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -125,6 +126,11 @@ type RunOptions struct {
 	SimInstr uint64
 	// Seed drives fault-map placement and the workload generator.
 	Seed uint64
+	// Sink, when non-nil, receives typed policy telemetry from every
+	// cache level: one event per DPCS interval decision plus one
+	// DecisionTransition event per controller voltage transition
+	// (including the initial cycle-0 transitions to the SPCS voltage).
+	Sink obs.PolicySink
 }
 
 // DefaultRunOptions returns the scaled-down defaults used by the test
@@ -269,6 +275,18 @@ func (s *System) buildLevel(spec CacheSpec, rng *stats.RNG) (*level, error) {
 		lv.dpcs = pol
 	}
 	return lv, nil
+}
+
+// SetSink attaches a telemetry sink to every cache level's controller
+// and DPCS policy. Call it before running; the run records the initial
+// SPCS/DPCS transitions too. A nil sink detaches telemetry.
+func (s *System) SetSink(sink obs.PolicySink) {
+	for _, lv := range []*level{s.l1i, s.l1d, s.l2} {
+		lv.ctrl.SetSink(sink)
+		if lv.dpcs != nil {
+			lv.dpcs.SetSink(sink)
+		}
+	}
 }
 
 // start applies the initial policy transition (SPCS and DPCS both begin
@@ -426,6 +444,9 @@ const ctxCheckMask = 8192 - 1
 func (sys *System) run(ctx context.Context, gen trace.Generator, opts RunOptions) (Result, error) {
 	cfg := sys.cfg
 	mode := sys.mode
+	if opts.Sink != nil {
+		sys.SetSink(opts.Sink)
+	}
 	sys.start()
 
 	var ins trace.Instr
@@ -553,27 +574,6 @@ func RunDebug(cfg SystemConfig, mode core.Mode, w trace.Workload, opts RunOption
 	sys, err := NewSystem(cfg, mode, opts.Seed)
 	if err != nil {
 		return DebugResult{}, err
-	}
-	gen, err := trace.New(w, opts.Seed)
-	if err != nil {
-		return DebugResult{}, err
-	}
-	res, err := sys.run(context.Background(), gen, opts)
-	if err != nil {
-		return DebugResult{}, err
-	}
-	return DebugResult{Result: res, Policies: [3]*core.DPCSPolicy{sys.l1i.dpcs, sys.l1d.dpcs, sys.l2.dpcs}}, nil
-}
-
-// RunDebugTrace runs a DPCS simulation with a decision-trace callback
-// attached to the L2 policy.
-func RunDebugTrace(cfg SystemConfig, w trace.Workload, opts RunOptions, tracef func(string, ...any)) (DebugResult, error) {
-	sys, err := NewSystem(cfg, core.DPCS, opts.Seed)
-	if err != nil {
-		return DebugResult{}, err
-	}
-	if sys.l2.dpcs != nil {
-		sys.l2.dpcs.Trace = tracef
 	}
 	gen, err := trace.New(w, opts.Seed)
 	if err != nil {

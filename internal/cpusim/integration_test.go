@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -169,10 +170,10 @@ func TestMLPOverlapShrinksStalls(t *testing.T) {
 	}
 }
 
-// TestAccessorsAndDebugTrace covers the composition surface multicore
-// builds on: controller/policy accessors, SPCS levels, and the decision
-// trace hook.
-func TestAccessorsAndDebugTrace(t *testing.T) {
+// TestAccessorsAndTelemetry covers the composition surface multicore
+// builds on: controller/policy accessors, SPCS levels, and the typed
+// telemetry sink.
+func TestAccessorsAndTelemetry(t *testing.T) {
 	s, err := NewSystem(ConfigA(), core.DPCS, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -198,16 +199,24 @@ func TestAccessorsAndDebugTrace(t *testing.T) {
 		t.Fatalf("baseline SPCS levels %d/%d/%d, want top level (1 of 1)", bi, bd, bl)
 	}
 
-	lines := 0
-	// The trace hooks the L2 policy, whose interval is 10k L2 accesses;
-	// run long enough for several intervals to elapse.
-	_, err = RunDebugTrace(ConfigA(), smallWorkload(),
-		RunOptions{WarmupInstr: 100_000, SimInstr: 1_500_000, Seed: 1},
-		func(format string, args ...any) { lines++ })
+	// The sink sees every cache's policy; the L2's interval is 10k L2
+	// accesses, so run long enough for several intervals to elapse.
+	col := &obs.Collector{}
+	_, err = Run(ConfigA(), core.DPCS, smallWorkload(),
+		RunOptions{WarmupInstr: 100_000, SimInstr: 1_500_000, Seed: 1, Sink: col})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lines == 0 {
-		t.Error("decision trace emitted nothing")
+	if len(col.Events) == 0 {
+		t.Fatal("telemetry sink received nothing")
+	}
+	decisions := 0
+	for _, ev := range col.Events {
+		if ev.Decision != obs.DecisionTransition {
+			decisions++
+		}
+	}
+	if decisions == 0 {
+		t.Error("no interval decision events recorded")
 	}
 }

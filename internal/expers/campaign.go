@@ -10,6 +10,7 @@ import (
 	"repro/internal/cpusim"
 	"repro/internal/faultmodel"
 	"repro/internal/multicore"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/sram"
 	"repro/internal/trace"
@@ -133,7 +134,15 @@ func runCPUSimJob(ctx context.Context, seed uint64, params json.RawMessage) (any
 	if p.Seed != 0 {
 		seed = p.Seed
 	}
-	opts := cpusim.RunOptions{WarmupInstr: p.WarmupInstr, SimInstr: p.SimInstr, Seed: seed}
+	opts := cpusim.RunOptions{
+		WarmupInstr: p.WarmupInstr,
+		SimInstr:    p.SimInstr,
+		Seed:        seed,
+		// Per-job telemetry: the runner (pcs-sweep -timeline) attaches a
+		// sink to the job context rather than to the parameter document,
+		// which must stay deterministic.
+		Sink: obs.PolicySinkFromContext(ctx),
+	}
 	if opts.SimInstr == 0 {
 		return nil, fmt.Errorf("expers: cpusim job needs sim_instr > 0")
 	}

@@ -1,0 +1,92 @@
+package expers
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func trans(cache string, cycle uint64, from, to int, fromV, toV float64) obs.PolicyEvent {
+	return obs.PolicyEvent{
+		Cycle: cycle, CacheName: cache, Decision: obs.DecisionTransition,
+		FromLevel: from, ToLevel: to, FromVDD: fromV, ToVDD: toV,
+	}
+}
+
+func TestVDDResidencies(t *testing.T) {
+	// Cache "p": level 3 for [0,100), 2 for [100,400), 3 for [400,1000).
+	events := []obs.PolicyEvent{
+		{Cycle: 50, CacheName: "p", Decision: obs.DecisionNone}, // ignored
+		trans("p", 100, 3, 2, 1.0, 0.7),
+		trans("p", 400, 2, 3, 0.7, 1.0),
+	}
+	res := VDDResidencies(events, 1000)
+	if len(res) != 2 {
+		t.Fatalf("got %d residencies: %+v", len(res), res)
+	}
+	// Descending level order.
+	if res[0].Level != 3 || res[0].Cycles != 100+600 || res[0].VDD != 1.0 {
+		t.Fatalf("level-3 residency %+v", res[0])
+	}
+	if res[1].Level != 2 || res[1].Cycles != 300 || res[1].VDD != 0.7 {
+		t.Fatalf("level-2 residency %+v", res[1])
+	}
+	if got := res[0].Frac + res[1].Frac; got < 0.999 || got > 1.001 {
+		t.Fatalf("fractions sum to %g", got)
+	}
+}
+
+func TestVDDResidenciesMultiCache(t *testing.T) {
+	events := []obs.PolicyEvent{
+		trans("l2", 500, 3, 2, 1.0, 0.8),
+		trans("l1", 200, 3, 1, 1.0, 0.6),
+	}
+	res := VDDResidencies(events, 1000)
+	if len(res) != 4 {
+		t.Fatalf("got %d residencies: %+v", len(res), res)
+	}
+	if res[0].Cache != "l1" || res[2].Cache != "l2" {
+		t.Fatalf("cache order wrong: %+v", res)
+	}
+	var sum uint64
+	for _, r := range res[:2] {
+		sum += r.Cycles
+	}
+	if sum != 1000 {
+		t.Fatalf("l1 cycles sum %d, want 1000", sum)
+	}
+}
+
+func TestVDDTrajectoryTableTruncates(t *testing.T) {
+	var events []obs.PolicyEvent
+	for i := uint64(1); i <= 10; i++ {
+		events = append(events, trans("p", i*100, 3, 2, 1.0, 0.7))
+	}
+	tab := VDDTrajectoryTable(events, 1e9, 4)
+	// 4 shown + 1 ellipsis row.
+	if len(tab.Rows) != 5 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Rows[4][0], "6 more") {
+		t.Fatalf("ellipsis row %v", tab.Rows[4])
+	}
+	// 100 cycles at 1 GHz = 1e-4 ms.
+	if tab.Rows[0][0] != "0.000" {
+		t.Fatalf("time cell %q", tab.Rows[0][0])
+	}
+	if tab.Rows[0][3] != "3->2" {
+		t.Fatalf("level cell %q", tab.Rows[0][3])
+	}
+}
+
+func TestVDDResidencyTable(t *testing.T) {
+	events := []obs.PolicyEvent{trans("p", 100, 3, 2, 1.0, 0.7)}
+	tab := VDDResidencyTable(events, 200)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][4] != "50.0" || tab.Rows[1][4] != "50.0" {
+		t.Fatalf("residency cells %v", tab.Rows)
+	}
+}

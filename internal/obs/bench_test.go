@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+func BenchmarkCounterInc(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("bench_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	reg := NewRegistry()
+	h := reg.HistogramVec("bench_seconds", "bench", "kind", DefDurationBuckets()).With("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) / 100)
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "a").Inc()
+	reg.Gauge("b_now", "b").Set(3.5)
+	h := reg.HistogramVec("c_seconds", "c", "kind", DefDurationBuckets())
+	for _, k := range []string{"x", "y", "z"} {
+		h.With(k).Observe(0.02)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

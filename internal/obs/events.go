@@ -1,0 +1,44 @@
+package obs
+
+// JobEventType classifies one campaign lifecycle event.
+type JobEventType string
+
+const (
+	// EventCampaignStarted opens a campaign's timeline.
+	EventCampaignStarted JobEventType = "campaign_started"
+	// EventJobStarted marks a job picked up by a worker.
+	EventJobStarted JobEventType = "job_started"
+	// EventJobDone marks a job that returned without error.
+	EventJobDone JobEventType = "job_done"
+	// EventJobFailed marks a job that returned an error or panicked.
+	EventJobFailed JobEventType = "job_failed"
+	// EventJobCancelled marks a job abandoned by cancellation.
+	EventJobCancelled JobEventType = "job_cancelled"
+	// EventCampaignFinished closes a campaign's timeline.
+	EventCampaignFinished JobEventType = "campaign_finished"
+)
+
+// JobEvent is one line of a campaign timeline (runs/<ts>/timeline.jsonl
+// and the pcs-server GET /campaigns/{id}/events stream). Unlike job
+// result records, timeline events deliberately carry wall-clock timing —
+// they exist to show where campaign time went.
+type JobEvent struct {
+	Type JobEventType `json:"type"`
+	// Campaign names the campaign (campaign_* events).
+	Campaign string `json:"campaign,omitempty"`
+	// Index is the job's position in the campaign; -1 on campaign_*
+	// events.
+	Index int `json:"index"`
+	// Kind and Name identify the job's spec.
+	Kind string `json:"kind,omitempty"`
+	Name string `json:"name,omitempty"`
+	// Error carries the failure or cancellation message.
+	Error string `json:"error,omitempty"`
+	// ElapsedMS is the offset from campaign start.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// DurationMS is the job's own wall-clock duration (terminal job
+	// events only).
+	DurationMS float64 `json:"duration_ms,omitempty"`
+	// State is the campaign's terminal state (campaign_finished only).
+	State string `json:"state,omitempty"`
+}

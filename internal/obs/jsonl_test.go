@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+func TestJSONLSinkRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	in := []PolicyEvent{
+		{Cycle: 100, CacheName: "L1D", Decision: DecisionCalibrate, NAAT: 2.5},
+		{Cycle: 200, CacheName: "L1D", Decision: DecisionDown, Interval: 2,
+			MissRate: 0.01, CAAT: 2.1, NAAT: 2.5, FromLevel: 3, ToLevel: 2},
+		{Cycle: 200, CacheName: "L1D", Decision: DecisionTransition,
+			FromLevel: 3, ToLevel: 2, FromVDD: 1.0, ToVDD: 0.7,
+			Writebacks: 4, Invalidations: 9, PenaltyCycles: 138},
+	}
+	for _, ev := range in {
+		s.Record(ev)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Events() != len(in) {
+		t.Fatalf("Events() = %d, want %d", s.Events(), len(in))
+	}
+
+	out, err := ReadPolicyEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("event %d roundtrip mismatch:\n got %+v\nwant %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDecisionJSONIsSymbolic(t *testing.T) {
+	b, err := json.Marshal(PolicyEvent{Cycle: 1, CacheName: "L2", Decision: DecisionUp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"decision":"up"`)) {
+		t.Fatalf("decision not symbolic: %s", b)
+	}
+	var ev PolicyEvent
+	if err := json.Unmarshal(b, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Decision != DecisionUp {
+		t.Fatalf("unmarshal decision = %v", ev.Decision)
+	}
+	if err := json.Unmarshal([]byte(`{"decision":"bogus"}`), &ev); err == nil {
+		t.Fatal("unknown decision name should fail to unmarshal")
+	}
+}
+
+func TestCreateJSONLFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "timeline.jsonl")
+	s, err := CreateJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Record(PolicyEvent{Cycle: 5, CacheName: "L1I", Decision: DecisionHold})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadPolicyTimeline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Decision != DecisionHold || evs[0].CacheName != "L1I" {
+		t.Fatalf("bad file roundtrip: %+v", evs)
+	}
+}
+
+func TestPolicySinkContext(t *testing.T) {
+	if got := PolicySinkFromContext(context.Background()); got != nil {
+		t.Fatalf("empty context should yield nil sink, got %T", got)
+	}
+	c := &Collector{}
+	ctx := ContextWithPolicySink(context.Background(), c)
+	sink := PolicySinkFromContext(ctx)
+	if sink == nil {
+		t.Fatal("sink not recovered from context")
+	}
+	sink.Record(PolicyEvent{Cycle: 9, Decision: DecisionReset})
+	if len(c.Events) != 1 || c.Events[0].Cycle != 9 {
+		t.Fatalf("collector missed event: %+v", c.Events)
+	}
+}

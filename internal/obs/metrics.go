@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Registration happens at wiring time (and
+// panics on duplicate or invalid names, like http.ServeMux); observation
+// methods are safe for concurrent use.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*family
+	order  []*family
+}
+
+// family is one named metric with zero or one label dimension.
+type family struct {
+	name  string
+	help  string
+	typ   string // "counter", "gauge", "histogram"
+	label string // label dimension name; "" for a single unlabelled series
+
+	mu      sync.Mutex
+	series  map[string]any // label value -> *Counter / *Gauge / *Histogram
+	fn      func() float64 // gauge callback, when set
+	buckets []float64      // histogram upper bounds (ascending, no +Inf)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register adds a family, panicking on duplicates — metric wiring is
+// startup code and a silent rename would corrupt dashboards.
+func (r *Registry) register(name, help, typ, label string, buckets []float64) *family {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q already registered", name))
+	}
+	f := &family{name: name, help: help, typ: typ, label: label,
+		series: make(map[string]any), buckets: buckets}
+	r.byName[name] = f
+	r.order = append(r.order, f)
+	return f
+}
+
+// Counter is a monotonically increasing integer series.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float series.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a cumulative-bucket distribution with a sum and count.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []float64 // upper bounds, ascending
+	counts  []uint64  // len(buckets)+1; last is the +Inf overflow
+	sum     float64
+	count   uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.buckets, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns how many values have been observed.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Counter registers an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, "counter", "", nil)
+	c := &Counter{}
+	f.series[""] = c
+	return c
+}
+
+// Gauge registers an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, "gauge", "", nil)
+	g := &Gauge{}
+	f.series[""] = g
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, "gauge", "", nil)
+	f.fn = fn
+}
+
+// CounterVec is a counter family with one label dimension.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labelled counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if label == "" {
+		panic("obs: CounterVec needs a label name")
+	}
+	return &CounterVec{f: r.register(name, help, "counter", label, nil)}
+}
+
+// With returns (creating on first use) the counter for one label value.
+func (v *CounterVec) With(value string) *Counter {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if c, ok := v.f.series[value]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{}
+	v.f.series[value] = c
+	return c
+}
+
+// HistogramVec is a histogram family with one label dimension.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labelled histogram family. Buckets are upper
+// bounds and must be strictly ascending; nil uses DefDurationBuckets.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if label == "" {
+		panic("obs: HistogramVec needs a label name")
+	}
+	if buckets == nil {
+		buckets = DefDurationBuckets()
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending: %v", name, buckets))
+		}
+	}
+	return &HistogramVec{f: r.register(name, help, "histogram", label, buckets)}
+}
+
+// With returns (creating on first use) the histogram for one label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if h, ok := v.f.series[value]; ok {
+		return h.(*Histogram)
+	}
+	h := &Histogram{buckets: v.f.buckets, counts: make([]uint64, len(v.f.buckets)+1)}
+	v.f.series[value] = h
+	return h
+}
+
+// DefDurationBuckets returns the default seconds-scale latency buckets,
+// spanning millisecond jobs through minute-long simulation campaigns.
+func DefDurationBuckets() []float64 {
+	return []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
+}
+
+// WritePrometheus renders every family in registration order as
+// Prometheus text exposition (version 0.0.4): a HELP/TYPE pair per
+// family, series sorted by label value, histograms with cumulative
+// buckets, a +Inf bucket, _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+		return err
+	}
+	if f.fn != nil {
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatValue(f.fn()))
+		return err
+	}
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	f.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		f.mu.Lock()
+		s := f.series[k]
+		f.mu.Unlock()
+		if err := f.writeSeries(w, k, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeSeries(w io.Writer, labelValue string, s any) error {
+	switch v := s.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s %d\n", seriesName(f.name, f.label, labelValue), v.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", seriesName(f.name, f.label, labelValue), formatValue(v.Value()))
+		return err
+	case *Histogram:
+		v.mu.Lock()
+		counts := append([]uint64(nil), v.counts...)
+		sum, count := v.sum, v.count
+		v.mu.Unlock()
+		cum := uint64(0)
+		for i, bound := range v.buckets {
+			cum += counts[i]
+			le := formatValue(bound)
+			if _, err := fmt.Fprintf(w, "%s %d\n",
+				bucketName(f.name, f.label, labelValue, le), cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(v.buckets)]
+		if _, err := fmt.Fprintf(w, "%s %d\n",
+			bucketName(f.name, f.label, labelValue, "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n",
+			seriesName(f.name+"_sum", f.label, labelValue), formatValue(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n",
+			seriesName(f.name+"_count", f.label, labelValue), count)
+		return err
+	default:
+		return fmt.Errorf("obs: unknown series type %T", s)
+	}
+}
+
+// seriesName renders name plus an optional single label pair.
+func seriesName(name, label, value string) string {
+	if label == "" {
+		return name
+	}
+	return name + "{" + label + "=" + strconv.Quote(value) + "}"
+}
+
+// bucketName renders a histogram bucket series with its le label.
+func bucketName(name, label, value, le string) string {
+	if label == "" {
+		return name + `_bucket{le=` + strconv.Quote(le) + `}`
+	}
+	return name + "_bucket{" + label + "=" + strconv.Quote(value) + ",le=" + strconv.Quote(le) + "}"
+}
+
+// formatValue renders a float compactly ("5" not "5e+00").
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	// Prometheus accepts Go's 'g'; normalise NaN/Inf spelling.
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strings.ToLower(s)
+}

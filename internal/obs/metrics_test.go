@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryRendersCounterAndGaugeTypes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs ever.")
+	g := r.Gauge("queue_depth", "Jobs waiting.")
+	c.Add(41)
+	c.Inc()
+	g.Set(2.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE jobs_total counter",
+		"jobs_total 42",
+		"# TYPE queue_depth gauge",
+		"queue_depth 2.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+}
+
+func TestRegistryGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 7.0
+	r.GaugeFunc("live_value", "Computed at scrape.", func() float64 { return v })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "live_value 7\n") {
+		t.Fatalf("gauge func not rendered:\n%s", b.String())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("x_total", "second")
+}
+
+func TestHistogramVecRendering(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("job_duration_seconds", "Job wall time.", "kind",
+		[]float64{0.1, 1, 10})
+	h := hv.With("cpusim")
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	hv.With("minvdd").Observe(0.01)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE job_duration_seconds histogram",
+		`job_duration_seconds_bucket{kind="cpusim",le="0.1"} 1`,
+		`job_duration_seconds_bucket{kind="cpusim",le="1"} 3`,
+		`job_duration_seconds_bucket{kind="cpusim",le="10"} 4`,
+		`job_duration_seconds_bucket{kind="cpusim",le="+Inf"} 5`,
+		`job_duration_seconds_sum{kind="cpusim"} 56.05`,
+		`job_duration_seconds_count{kind="cpusim"} 5`,
+		`job_duration_seconds_bucket{kind="minvdd",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	if h.Count() != 5 || h.Sum() != 56.05 {
+		t.Fatalf("count/sum accessors: %d / %g", h.Count(), h.Sum())
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("job_errors_total", "Errors by kind.", "kind")
+	cv.With("cpusim").Inc()
+	cv.With("cpusim").Inc()
+	cv.With("multicore").Inc()
+	if cv.With("cpusim").Value() != 2 {
+		t.Fatalf("cpusim counter = %d", cv.With("cpusim").Value())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `job_errors_total{kind="cpusim"} 2`) ||
+		!strings.Contains(out, `job_errors_total{kind="multicore"} 1`) {
+		t.Fatalf("labelled counters not rendered:\n%s", out)
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+}
+
+func TestValidateExpositionRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"sample without family": "loose_metric 1\n",
+		"duplicate TYPE":        "# HELP a x\n# TYPE a gauge\n# HELP a x\n# TYPE a gauge\na 1\n",
+		"non-monotonic histogram": strings.Join([]string{
+			"# HELP h x",
+			"# TYPE h histogram",
+			`h_bucket{le="1"} 5`,
+			`h_bucket{le="2"} 3`,
+			`h_bucket{le="+Inf"} 5`,
+			"h_sum 1",
+			"h_count 5",
+			"",
+		}, "\n"),
+		"missing +Inf bucket": strings.Join([]string{
+			"# HELP h x",
+			"# TYPE h histogram",
+			`h_bucket{le="1"} 5`,
+			"h_sum 1",
+			"h_count 5",
+			"",
+		}, "\n"),
+		"count mismatch": strings.Join([]string{
+			"# HELP h x",
+			"# TYPE h histogram",
+			`h_bucket{le="+Inf"} 4`,
+			"h_sum 1",
+			"h_count 5",
+			"",
+		}, "\n"),
+		"bad value": "# HELP a x\n# TYPE a gauge\na banana\n",
+	}
+	for name, in := range cases {
+		if err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestValidateExpositionAcceptsRegistryOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Inc()
+	r.Gauge("b", "b").Set(0.25)
+	r.HistogramVec("c_seconds", "c", "kind", nil).With("x").Observe(0.2)
+	r.GaugeFunc("d", "d", func() float64 { return -1 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("registry output failed validation: %v\n%s", err, b.String())
+	}
+}

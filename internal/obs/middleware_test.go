@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRequestLoggerCapturesStatusAndID(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	h := RequestLogger(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
+	}))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/brew", nil))
+
+	if rec.Code != http.StatusTeapot {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if rec.Header().Get(RequestIDHeader) == "" {
+		t.Fatal("missing request id header")
+	}
+	out := logBuf.String()
+	for _, want := range []string{"status=418", "path=/brew", "method=GET", "bytes=15"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log line missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestRequestLoggerNilLoggerPassthrough(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := RequestLogger(nil, inner); got == nil {
+		t.Fatal("nil logger should return handler unchanged, got nil")
+	}
+}
+
+func TestStatusRecorderPreservesFlusher(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	flushed := false
+	h := RequestLogger(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("wrapped writer lost http.Flusher")
+		}
+		w.Write([]byte("x\n"))
+		f.Flush()
+		flushed = true
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stream", nil))
+	if !flushed {
+		t.Fatal("handler did not flush")
+	}
+	if !rec.Flushed {
+		t.Fatal("flush did not reach underlying writer")
+	}
+}
+
+func TestRequestIDsAreUnique(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	h := RequestLogger(logger, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	seen := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+		id := rec.Header().Get(RequestIDHeader)
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Artifact layout (in the spirit of a paper run_all.sh workflow): each
@@ -16,10 +19,13 @@ import (
 //	manifest.json   what ran: campaign name, seed, job specs, workers
 //	results.jsonl   one JobResult per line, in job-index order
 //	summary.json    terminal counts and elapsed time
+//	timeline.jsonl  one obs.JobEvent per line, in wall-clock order
 //
 // results.jsonl is written from the deterministic per-job records only,
 // so two executions of the same campaign+seed produce byte-identical
-// files regardless of worker count.
+// files regardless of worker count. timeline.jsonl is the deliberate
+// exception: it records when each job started and finished, so it varies
+// run to run and is never an input to result comparison.
 
 // NewRunDir creates and returns a fresh timestamped run directory under
 // root (e.g. "runs"). Collisions get a numeric suffix.
@@ -56,10 +62,21 @@ type manifest struct {
 }
 
 type artifactStore struct {
-	dir string
+	dir      string
+	campaign string
+
+	// Timeline state. Workers emit events concurrently; the mutex keeps
+	// lines whole and the start time anchors the elapsed offsets.
+	tmu   sync.Mutex
+	tf    *os.File
+	tw    *bufio.Writer
+	tenc  *json.Encoder
+	terr  error
+	start time.Time
 }
 
-// newArtifactStore creates dir if needed and writes the manifest.
+// newArtifactStore creates dir if needed, writes the manifest and opens
+// the timeline.
 func newArtifactStore(dir string, c Campaign, workers int) (*artifactStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: artifact dir: %w", err)
@@ -75,11 +92,82 @@ func newArtifactStore(dir string, c Campaign, workers int) (*artifactStore, erro
 	if err := writeJSON(filepath.Join(dir, "manifest.json"), m); err != nil {
 		return nil, err
 	}
-	return &artifactStore{dir: dir}, nil
+	tf, err := os.Create(filepath.Join(dir, "timeline.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("runner: timeline.jsonl: %w", err)
+	}
+	a := &artifactStore{dir: dir, campaign: c.Name, tf: tf, start: time.Now()}
+	a.tw = bufio.NewWriter(tf)
+	a.tenc = json.NewEncoder(a.tw)
+	a.event(obs.JobEvent{Type: obs.EventCampaignStarted, Campaign: c.Name, Index: -1})
+	return a, nil
 }
 
-// finish writes results.jsonl (index order) and summary.json.
+// event appends one timeline line, stamping the elapsed offset. Write
+// errors latch and surface from finish.
+func (a *artifactStore) event(ev obs.JobEvent) {
+	a.tmu.Lock()
+	defer a.tmu.Unlock()
+	if a.terr != nil {
+		return
+	}
+	ev.ElapsedMS = float64(time.Since(a.start).Microseconds()) / 1e3
+	if err := a.tenc.Encode(&ev); err != nil {
+		a.terr = fmt.Errorf("runner: encode timeline event: %w", err)
+	}
+}
+
+// jobStarted records a worker picking up job i.
+func (a *artifactStore) jobStarted(i int, spec Spec) {
+	a.event(obs.JobEvent{Type: obs.EventJobStarted, Index: i, Kind: spec.Kind, Name: spec.Name})
+}
+
+// jobFinished records a job reaching a terminal state.
+func (a *artifactStore) jobFinished(r JobResult) {
+	typ := obs.EventJobDone
+	switch r.Status {
+	case StatusFailed:
+		typ = obs.EventJobFailed
+	case StatusCancelled:
+		typ = obs.EventJobCancelled
+	}
+	a.event(obs.JobEvent{
+		Type:       typ,
+		Index:      r.Index,
+		Kind:       r.Kind,
+		Name:       r.Name,
+		Error:      r.Error,
+		DurationMS: float64(r.Duration.Microseconds()) / 1e3,
+	})
+}
+
+// closeTimeline writes the closing event and flushes the file.
+func (a *artifactStore) closeTimeline(res *CampaignResult) error {
+	state := "done"
+	if res.Failed > 0 {
+		state = "failed"
+	}
+	if res.Cancelled > 0 {
+		state = "cancelled"
+	}
+	a.event(obs.JobEvent{Type: obs.EventCampaignFinished, Campaign: a.campaign, Index: -1, State: state})
+	a.tmu.Lock()
+	defer a.tmu.Unlock()
+	if err := a.tw.Flush(); err != nil && a.terr == nil {
+		a.terr = fmt.Errorf("runner: flush timeline.jsonl: %w", err)
+	}
+	if err := a.tf.Close(); err != nil && a.terr == nil {
+		a.terr = fmt.Errorf("runner: close timeline.jsonl: %w", err)
+	}
+	return a.terr
+}
+
+// finish closes the timeline and writes results.jsonl (index order) and
+// summary.json.
 func (a *artifactStore) finish(results []JobResult, res *CampaignResult) error {
+	if err := a.closeTimeline(res); err != nil {
+		return err
+	}
 	f, err := os.Create(filepath.Join(a.dir, "results.jsonl"))
 	if err != nil {
 		return fmt.Errorf("runner: results.jsonl: %w", err)

@@ -78,6 +78,10 @@ type JobResult struct {
 	Status Status `json:"status"`
 	Error  string `json:"error,omitempty"`
 	Output any    `json:"output,omitempty"`
+	// Duration is the job's wall-clock run time. It is excluded from
+	// JSON so results.jsonl stays byte-identical across worker counts;
+	// wall-clock timing belongs to the timeline artifact.
+	Duration time.Duration `json:"-"`
 }
 
 // Progress is a snapshot of a running campaign.
@@ -113,6 +117,13 @@ type Options struct {
 	// OnResult, when non-nil, is called (serialised) with each job's
 	// result as it completes, in completion order.
 	OnResult func(JobResult)
+	// OnJobStart, when non-nil, is called (serialised) as a worker picks
+	// up each job, before its kind function runs.
+	OnJobStart func(index int)
+	// JobContext, when non-nil, decorates each job's context before the
+	// kind function sees it — e.g. attaching a per-job telemetry sink
+	// with obs.ContextWithPolicySink.
+	JobContext func(ctx context.Context, index int, spec Spec) context.Context
 }
 
 // CampaignResult is the outcome of a campaign execution.
@@ -199,6 +210,9 @@ func Run(ctx context.Context, reg *Registry, c Campaign, opts Options) (*Campaig
 		if opts.OnProgress != nil {
 			opts.OnProgress(prog)
 		}
+		if store != nil {
+			store.jobFinished(r)
+		}
 	}
 
 	for w := 0; w < workers; w++ {
@@ -208,8 +222,14 @@ func Run(ctx context.Context, reg *Registry, c Campaign, opts Options) (*Campaig
 			for i := range indices {
 				mu.Lock()
 				prog.Running++
+				if opts.OnJobStart != nil {
+					opts.OnJobStart(i)
+				}
 				mu.Unlock()
-				results[i] = runJob(ctx, reg, c, i)
+				if store != nil {
+					store.jobStarted(i, c.Jobs[i])
+				}
+				results[i] = runJob(ctx, reg, c, i, opts)
 				finish(results[i])
 			}
 		}()
@@ -260,10 +280,12 @@ feed:
 
 // runJob executes one job with panic isolation: a panicking kind
 // function marks its own job failed instead of killing the campaign.
-func runJob(ctx context.Context, reg *Registry, c Campaign, i int) (res JobResult) {
+func runJob(ctx context.Context, reg *Registry, c Campaign, i int, opts Options) (res JobResult) {
 	spec := c.Jobs[i]
 	res = JobResult{Index: i, Kind: spec.Kind, Name: spec.Name, Seed: JobSeed(c.Seed, i)}
+	jobStart := time.Now()
 	defer func() {
+		res.Duration = time.Since(jobStart)
 		if p := recover(); p != nil {
 			res.Status = StatusFailed
 			res.Output = nil
@@ -272,6 +294,9 @@ func runJob(ctx context.Context, reg *Registry, c Campaign, i int) (res JobResul
 	}()
 	if ctx.Err() != nil {
 		return cancelledResult(c, i)
+	}
+	if opts.JobContext != nil {
+		ctx = opts.JobContext(ctx, i, spec)
 	}
 	fn, _ := reg.Lookup(spec.Kind)
 	out, err := fn(ctx, res.Seed, spec.Params)

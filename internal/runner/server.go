@@ -4,12 +4,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Server turns the campaign runner into an HTTP job service — the
@@ -19,8 +23,9 @@ import (
 //	GET    /campaigns               list campaigns
 //	GET    /campaigns/{id}          status, progress and ETA
 //	GET    /campaigns/{id}/results  JSONL stream of completed records
+//	GET    /campaigns/{id}/events   NDJSON stream of job lifecycle events
 //	DELETE /campaigns/{id}          cancel a running campaign
-//	GET    /metrics                 Prometheus-style runner gauges
+//	GET    /metrics                 Prometheus text exposition
 //
 // Campaigns execute asynchronously on the server's worker pools; status
 // and partial results are available while a campaign runs. All state is
@@ -39,6 +44,9 @@ type Server struct {
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 
+	log     *slog.Logger
+	metrics *serverMetrics
+
 	mu        sync.Mutex
 	campaigns map[string]*campaignState
 	order     []string // submission order, for listing
@@ -53,6 +61,50 @@ type ServerOptions struct {
 	// ArtifactRoot, when non-empty, archives every campaign under
 	// <ArtifactRoot>/<campaign id>/.
 	ArtifactRoot string
+	// Logger, when non-nil, receives structured operational logs
+	// (submissions, completions, response-write failures). Nil discards.
+	Logger *slog.Logger
+}
+
+// serverMetrics wires the server's obs.Registry families. Counters are
+// incremented as events happen (so they are true monotonic counters);
+// gauges are set from Snapshot at scrape time.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	campaignsTotal *obs.Counter
+	jobsDone       *obs.Counter
+	jobsFailed     *obs.Counter
+	jobDuration    *obs.HistogramVec
+	jobErrors      *obs.CounterVec
+
+	campaignsRunning *obs.Gauge
+	jobsQueued       *obs.Gauge
+	jobsRunning      *obs.Gauge
+	workers          *obs.Gauge
+	utilization      *obs.Gauge
+	jobsPerSec       *obs.Gauge
+}
+
+func newServerMetrics() *serverMetrics {
+	r := obs.NewRegistry()
+	return &serverMetrics{
+		reg:            r,
+		campaignsTotal: r.Counter("pcs_campaigns_total", "Campaigns submitted since server start."),
+		campaignsRunning: r.Gauge("pcs_campaigns_running",
+			"Campaigns currently executing."),
+		jobsQueued:  r.Gauge("pcs_jobs_queued", "Jobs waiting for a worker."),
+		jobsRunning: r.Gauge("pcs_jobs_running", "Jobs currently executing."),
+		jobsDone:    r.Counter("pcs_jobs_done", "Jobs completed successfully."),
+		jobsFailed:  r.Counter("pcs_jobs_failed", "Jobs that returned an error or panicked."),
+		workers:     r.Gauge("pcs_workers", "Configured workers across running campaigns."),
+		utilization: r.Gauge("pcs_worker_utilization", "Running jobs per configured worker."),
+		jobsPerSec:  r.Gauge("pcs_jobs_per_second", "Aggregate job completion rate."),
+		jobDuration: r.HistogramVec("pcs_job_duration_seconds",
+			"Job wall-clock duration by campaign kind.", "kind", nil),
+		jobErrors: r.CounterVec("pcs_job_errors_total",
+			"Failed jobs by campaign kind.", "kind"),
+	}
 }
 
 // campaignState tracks one submitted campaign.
@@ -68,17 +120,41 @@ type campaignState struct {
 	results  []*JobResult // indexed by job, nil until complete
 	started  time.Time
 	finished time.Time
+	// events is the append-only job lifecycle log streamed by
+	// GET /campaigns/{id}/events. The campaign_finished event is appended
+	// in the same critical section that sets the terminal state, so a
+	// reader observing a terminal state under mu sees the complete log.
+	events []obs.JobEvent
+}
+
+// addEvent appends one lifecycle event, stamping its campaign-relative
+// offset.
+func (cs *campaignState) addEvent(ev obs.JobEvent) {
+	cs.mu.Lock()
+	cs.appendEventLocked(ev)
+	cs.mu.Unlock()
+}
+
+func (cs *campaignState) appendEventLocked(ev obs.JobEvent) {
+	ev.ElapsedMS = float64(time.Since(cs.started).Microseconds()) / 1e3
+	cs.events = append(cs.events, ev)
 }
 
 // NewServer returns a server executing campaigns against reg.
 func NewServer(reg *Registry, opts ServerOptions) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return &Server{
 		reg:            reg,
 		defaultWorkers: opts.DefaultWorkers,
 		artifactRoot:   opts.ArtifactRoot,
 		baseCtx:        ctx,
 		stop:           cancel,
+		log:            log,
+		metrics:        newServerMetrics(),
 		campaigns:      make(map[string]*campaignState),
 		started:        time.Now(),
 	}
@@ -99,6 +175,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -166,6 +243,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, cs.id)
 	s.mu.Unlock()
 
+	s.metrics.campaignsTotal.Inc()
+	s.log.Info("campaign submitted",
+		"id", cs.id, "name", req.Name, "jobs", len(req.Jobs), "workers", workers)
+
 	s.wg.Add(1)
 	go s.execute(ctx, cs)
 
@@ -183,6 +264,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) execute(ctx context.Context, cs *campaignState) {
 	defer s.wg.Done()
 	defer cs.cancel()
+	cs.addEvent(obs.JobEvent{Type: obs.EventCampaignStarted, Campaign: cs.campaign.Name, Index: -1})
 	opts := Options{
 		Workers: cs.workers,
 		OnProgress: func(p Progress) {
@@ -190,10 +272,31 @@ func (s *Server) execute(ctx context.Context, cs *campaignState) {
 			cs.progress = p
 			cs.mu.Unlock()
 		},
+		OnJobStart: func(i int) {
+			spec := cs.campaign.Jobs[i]
+			cs.addEvent(obs.JobEvent{Type: obs.EventJobStarted, Index: i,
+				Kind: spec.Kind, Name: spec.Name})
+		},
 		OnResult: func(r JobResult) {
 			cs.mu.Lock()
 			cs.results[r.Index] = &r
 			cs.mu.Unlock()
+			typ := obs.EventJobDone
+			switch r.Status {
+			case StatusDone:
+				s.metrics.jobsDone.Inc()
+				s.metrics.jobDuration.With(r.Kind).Observe(r.Duration.Seconds())
+			case StatusFailed:
+				typ = obs.EventJobFailed
+				s.metrics.jobsFailed.Inc()
+				s.metrics.jobErrors.With(r.Kind).Inc()
+				s.metrics.jobDuration.With(r.Kind).Observe(r.Duration.Seconds())
+			case StatusCancelled:
+				typ = obs.EventJobCancelled
+			}
+			cs.addEvent(obs.JobEvent{Type: typ, Index: r.Index, Kind: r.Kind,
+				Name: r.Name, Error: r.Error,
+				DurationMS: float64(r.Duration.Microseconds()) / 1e3})
 		},
 	}
 	if s.artifactRoot != "" {
@@ -202,7 +305,6 @@ func (s *Server) execute(ctx context.Context, cs *campaignState) {
 	res, err := Run(ctx, s.reg, cs.campaign, opts)
 
 	cs.mu.Lock()
-	defer cs.mu.Unlock()
 	cs.finished = time.Now()
 	if res != nil {
 		// Cancellation marks never-dispatched jobs after Run returns;
@@ -219,6 +321,17 @@ func (s *Server) execute(ctx context.Context, cs *campaignState) {
 		cs.state = "failed"
 	default:
 		cs.state = "done"
+	}
+	cs.appendEventLocked(obs.JobEvent{Type: obs.EventCampaignFinished,
+		Campaign: cs.campaign.Name, Index: -1, State: cs.state})
+	state := cs.state
+	elapsed := cs.finished.Sub(cs.started)
+	cs.mu.Unlock()
+
+	s.log.Info("campaign finished", "id", cs.id, "state", state,
+		"elapsed_ms", float64(elapsed.Microseconds())/1e3)
+	if err != nil && ctx.Err() == nil {
+		s.log.Error("campaign error", "id", cs.id, "err", err)
 	}
 }
 
@@ -272,7 +385,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
 		return
 	}
-	writeJSONResponse(w, cs.view())
+	s.writeJSONResponse(w, cs.view())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -285,7 +398,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 			views = append(views, cs.view())
 		}
 	}
-	writeJSONResponse(w, map[string]any{"campaigns": views})
+	s.writeJSONResponse(w, map[string]any{"campaigns": views})
 }
 
 // handleResults streams the completed records as JSON lines in
@@ -319,6 +432,48 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleEvents streams the campaign's job lifecycle events as NDJSON,
+// following the live campaign (15 ms polling) until it reaches a
+// terminal state or the client disconnects. The campaign_finished event
+// is always the last line for a completed campaign.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	cs := s.lookup(r.PathValue("id"))
+	if cs == nil {
+		httpError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		cs.mu.Lock()
+		batch := append([]obs.JobEvent(nil), cs.events[sent:]...)
+		terminal := cs.state != "running"
+		cs.mu.Unlock()
+		for i := range batch {
+			if err := enc.Encode(&batch[i]); err != nil {
+				s.log.Warn("encode event stream", "campaign", cs.id, "err", err)
+				return
+			}
+			sent++
+		}
+		if len(batch) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			// The finished event is appended under the same lock that set
+			// the terminal state, so the batch above was complete.
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(15 * time.Millisecond):
+		}
+	}
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	cs := s.lookup(r.PathValue("id"))
 	if cs == nil {
@@ -326,7 +481,8 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cs.cancel()
-	writeJSONResponse(w, map[string]string{"id": cs.id, "state": "cancelling"})
+	s.log.Info("campaign cancel requested", "id", cs.id)
+	s.writeJSONResponse(w, map[string]string{"id": cs.id, "state": "cancelling"})
 }
 
 // Metrics is a snapshot of the server's aggregate gauges.
@@ -391,26 +547,20 @@ func (s *Server) Snapshot() Metrics {
 	return m
 }
 
+// handleMetrics renders the obs registry: the monotonic counters are
+// maintained event-driven; the point-in-time gauges are refreshed from
+// Snapshot at scrape time.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.Snapshot()
+	s.metrics.campaignsRunning.Set(float64(m.CampaignsRunning))
+	s.metrics.jobsQueued.Set(float64(m.JobsQueued))
+	s.metrics.jobsRunning.Set(float64(m.JobsRunning))
+	s.metrics.workers.Set(float64(m.Workers))
+	s.metrics.utilization.Set(m.Utilization)
+	s.metrics.jobsPerSec.Set(m.JobsPerSec)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fields := []struct {
-		name string
-		help string
-		val  float64
-	}{
-		{"pcs_campaigns_total", "Campaigns submitted since server start.", float64(m.CampaignsTotal)},
-		{"pcs_campaigns_running", "Campaigns currently executing.", float64(m.CampaignsRunning)},
-		{"pcs_jobs_queued", "Jobs waiting for a worker.", float64(m.JobsQueued)},
-		{"pcs_jobs_running", "Jobs currently executing.", float64(m.JobsRunning)},
-		{"pcs_jobs_done", "Jobs completed successfully.", float64(m.JobsDone)},
-		{"pcs_jobs_failed", "Jobs that returned an error or panicked.", float64(m.JobsFailed)},
-		{"pcs_workers", "Configured workers across running campaigns.", float64(m.Workers)},
-		{"pcs_worker_utilization", "Running jobs per configured worker.", m.Utilization},
-		{"pcs_jobs_per_second", "Aggregate job completion rate.", m.JobsPerSec},
-	}
-	for _, f := range fields {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", f.name, f.help, f.name, f.name, f.val)
+	if err := s.metrics.reg.WritePrometheus(w); err != nil {
+		s.log.Warn("write metrics", "err", err)
 	}
 }
 
@@ -428,9 +578,11 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-func writeJSONResponse(w http.ResponseWriter, v any) {
+func (s *Server) writeJSONResponse(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.log.Warn("encode response", "err", err)
+	}
 }

@@ -1,9 +1,15 @@
 #!/usr/bin/env sh
-# CI gate: vet everything, then run the full test suite under the race
+# CI gate: formatting, vet, then the full test suite under the race
 # detector so the campaign runner's worker pool (internal/runner,
 # internal/expers campaign tests) is exercised with -race.
 set -eu
 cd "$(dirname "$0")/.."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 go vet ./...
 go build ./...
 go test -race ./...
