@@ -26,13 +26,13 @@ check: vet race
 
 # Benchmark snapshot: runs every benchmark (the figure pipelines in the
 # root bench_test.go, the policy-tick hot path, the metrics registry)
-# once each with allocation stats and archives the test2json stream as
-# BENCH_<date>.json for before/after comparison. Drop BENCHTIME for
-# steady-state numbers.
+# once each with allocation stats, archives the test2json stream as a
+# new BENCH_<date>.json (never clobbering an existing snapshot), and
+# prints the ns/op comparison against the most recent previous
+# snapshot. Raise BENCHTIME for steady-state numbers.
 BENCHTIME ?= 1x
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -json . ./internal/core ./internal/obs > BENCH_$(shell date +%Y%m%d).json
-	@echo "wrote BENCH_$(shell date +%Y%m%d).json"
+	BENCHTIME=$(BENCHTIME) sh scripts/bench.sh
 
 figures:
 	$(GO) run ./cmd/pcs-figures

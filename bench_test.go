@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -130,31 +131,25 @@ func BenchmarkMinVDDvsAssoc(b *testing.B) {
 }
 
 // fig4Bench runs a scaled-down Fig. 4 for one configuration over a
-// representative benchmark subset and reports the headline savings.
+// representative benchmark subset — through the worker pool, as the full
+// pcs-sim grid now runs — and reports the headline savings.
 func fig4Bench(b *testing.B, cfg cpusim.SystemConfig) {
 	b.Helper()
 	names := []string{"hmmer.s", "bzip2.s", "mcf.s", "libquantum.s"}
+	var workloads []trace.Workload
+	for _, name := range names {
+		w, ok := trace.ByName(name)
+		if !ok {
+			b.Fatalf("workload %s missing", name)
+		}
+		workloads = append(workloads, w)
+	}
 	opts := cpusim.RunOptions{WarmupInstr: 200_000, SimInstr: 1_000_000, Seed: 1}
 	var sum expers.Summary
 	for i := 0; i < b.N; i++ {
-		data := expers.Fig4Data{Config: cfg.Name}
-		for _, name := range names {
-			w, ok := trace.ByName(name)
-			if !ok {
-				b.Fatalf("workload %s missing", name)
-			}
-			row := expers.Fig4Row{Workload: name}
-			var err error
-			if row.Baseline, err = cpusim.Run(cfg, core.Baseline, w, opts); err != nil {
-				b.Fatal(err)
-			}
-			if row.SPCS, err = cpusim.Run(cfg, core.SPCS, w, opts); err != nil {
-				b.Fatal(err)
-			}
-			if row.DPCS, err = cpusim.Run(cfg, core.DPCS, w, opts); err != nil {
-				b.Fatal(err)
-			}
-			data.Rows = append(data.Rows, row)
+		data, err := expers.Fig4ParallelWorkloads(context.Background(), cfg, workloads, opts, 0, nil)
+		if err != nil {
+			b.Fatal(err)
 		}
 		sum = expers.Summarise(data)
 	}

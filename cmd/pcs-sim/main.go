@@ -8,6 +8,7 @@
 //
 //	pcs-sim [-config A|B|both] [-instr N] [-warmup N] [-seed S]
 //	        [-bench name] [-timeline file] [-configs] [-csv] [-q]
+//	        [-workers N]
 //
 // -timeline (single-benchmark mode) records the DPCS run's typed policy
 // telemetry — every interval decision and voltage transition — as JSON
@@ -20,11 +21,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/cpusim"
@@ -47,6 +50,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet    = flag.Bool("q", false, "suppress per-run progress lines")
 		timeline = flag.String("timeline", "", "with -bench: write the DPCS policy timeline to this JSONL file")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulations for the full grid (results are identical at any worker count)")
 	)
 	flag.Parse()
 
@@ -96,10 +100,10 @@ func main() {
 			continue
 		}
 		if progress != nil {
-			fmt.Fprintf(progress, "config %s: %d benchmarks x 3 modes, %d instr each\n",
-				cfg.Name, len(trace.Suite()), opts.SimInstr)
+			fmt.Fprintf(progress, "config %s: %d benchmarks x 3 modes, %d instr each, %d workers\n",
+				cfg.Name, len(trace.Suite()), opts.SimInstr, *workers)
 		}
-		data, err := expers.Fig4(cfg, opts, progress)
+		data, err := expers.Fig4Parallel(context.Background(), cfg, opts, *workers, progress)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,21 +10,20 @@
 // accounted by the callers (internal/cpusim and internal/core), which
 // also drive voltage transitions by manipulating the Faulty bits through
 // the metadata accessors.
+//
+// Internally the per-frame metadata is packed for the access hot path:
+// the Valid/Dirty/Faulty bits of one set live in per-set uint64 way
+// bitmasks (hence Assoc ≤ 64), and tags and LRU stamps are flat slices
+// indexed once per access. Hit probing walks only the usable ways via
+// bits.TrailingZeros64 over valid&^faulty, in ascending way order —
+// identical outcomes to a per-way scan, observed by the differential
+// test against the retained reference implementation.
 package cache
 
 import (
 	"fmt"
 	"math/bits"
 )
-
-// line is the metadata of one cache block frame.
-type line struct {
-	tag    uint64
-	lru    uint64 // larger = more recently used
-	valid  bool
-	dirty  bool
-	faulty bool
-}
 
 // Stats accumulates access statistics.
 type Stats struct {
@@ -69,10 +68,21 @@ type Cache struct {
 	ways       int
 	blockBytes int
 	setShift   uint // log2(blockBytes)
+	setBits    uint // log2(sets)
 	setMask    uint64
-	lines      []line // sets*ways, row-major by set
-	lruClock   uint64
-	stats      Stats
+	waysMask   uint64 // low `ways` bits set
+
+	// Per-frame state, flat sets*ways row-major by set.
+	tags []uint64
+	lru  []uint64 // larger = more recently used
+
+	// Per-set way bitmasks: bit w of valid[s] is frame (s,w)'s Valid bit.
+	valid  []uint64
+	dirty  []uint64
+	faulty []uint64
+
+	lruClock uint64
+	stats    Stats
 }
 
 // Config describes a cache's geometry.
@@ -83,10 +93,14 @@ type Config struct {
 	BlockBytes int
 }
 
-// New builds a cache. Sizes must be powers of two.
+// New builds a cache. Sizes must be powers of two and associativity at
+// most 64 (one uint64 way bitmask per set).
 func New(cfg Config) (*Cache, error) {
 	if cfg.SizeBytes <= 0 || cfg.Assoc <= 0 || cfg.BlockBytes <= 0 {
 		return nil, fmt.Errorf("cache: %s: non-positive geometry", cfg.Name)
+	}
+	if cfg.Assoc > 64 {
+		return nil, fmt.Errorf("cache: %s: associativity %d exceeds 64", cfg.Name, cfg.Assoc)
 	}
 	if cfg.SizeBytes%(cfg.Assoc*cfg.BlockBytes) != 0 {
 		return nil, fmt.Errorf("cache: %s: size %d not divisible by assoc*block", cfg.Name, cfg.SizeBytes)
@@ -103,8 +117,14 @@ func New(cfg Config) (*Cache, error) {
 		ways:       cfg.Assoc,
 		blockBytes: cfg.BlockBytes,
 		setShift:   uint(bits.Len(uint(cfg.BlockBytes)) - 1),
+		setBits:    uint(bits.Len(uint(sets)) - 1),
 		setMask:    uint64(sets - 1),
-		lines:      make([]line, sets*cfg.Assoc),
+		waysMask:   ^uint64(0) >> (64 - uint(cfg.Assoc)),
+		tags:       make([]uint64, sets*cfg.Assoc),
+		lru:        make([]uint64, sets*cfg.Assoc),
+		valid:      make([]uint64, sets),
+		dirty:      make([]uint64, sets),
+		faulty:     make([]uint64, sets),
 	}, nil
 }
 
@@ -141,19 +161,19 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // indexOf splits an address into set index and tag.
 func (c *Cache) indexOf(addr uint64) (set int, tag uint64) {
 	blk := addr >> c.setShift
-	return int(blk & c.setMask), blk >> bits.Len64(c.setMask)
+	return int(blk & c.setMask), blk >> c.setBits
 }
 
 // BlockIndex returns the flat block index of (set, way), the key used by
 // the fault map.
 func (c *Cache) BlockIndex(set, way int) int { return set*c.ways + way }
 
-// frame returns the line at (set, way).
-func (c *Cache) frame(set, way int) *line {
+// checkFrame bounds-checks (set, way) for the metadata accessors; the
+// access hot path indexes the packed slices directly instead.
+func (c *Cache) checkFrame(set, way int) {
 	if set < 0 || set >= c.sets || way < 0 || way >= c.ways {
 		panic(fmt.Sprintf("cache: %s: frame (%d,%d) out of %dx%d", c.name, set, way, c.sets, c.ways))
 	}
-	return &c.lines[set*c.ways+way]
 }
 
 // AccessResult describes the outcome of one access.
@@ -183,62 +203,80 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	}
 	set, tag := c.indexOf(addr)
 	c.lruClock++
+	base := set * c.ways
 
-	// Hit check: faulty blocks can never hit (they are never valid; the
-	// check is kept explicit as a safety invariant).
-	for w := 0; w < c.ways; w++ {
-		ln := c.frame(set, w)
-		if ln.valid && !ln.faulty && ln.tag == tag {
+	// Hit check: only valid non-faulty ways can hit, which is exactly
+	// the valid&^faulty bitmask (Faulty implies not Valid by invariant;
+	// the mask keeps the exclusion explicit).
+	for m := c.valid[set] &^ c.faulty[set]; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if c.tags[base+w] == tag {
 			c.stats.Hits++
-			ln.lru = c.lruClock
+			c.lru[base+w] = c.lruClock
 			if write {
-				ln.dirty = true
+				c.dirty[set] |= 1 << uint(w)
 			}
 			return AccessResult{Hit: true}
 		}
 	}
 	c.stats.Misses++
 
-	// Victim selection: LRU among non-faulty ways, preferring invalid.
-	victim := -1
-	var oldest uint64
-	for w := 0; w < c.ways; w++ {
-		ln := c.frame(set, w)
-		if ln.faulty {
-			continue
-		}
-		if !ln.valid {
-			victim = w
-			break
-		}
-		if victim == -1 || ln.lru < oldest {
-			victim = w
-			oldest = ln.lru
-		}
-	}
-	if victim == -1 {
+	// Victim selection: LRU among non-faulty ways, preferring the
+	// lowest-numbered invalid one.
+	avail := c.waysMask &^ c.faulty[set]
+	if avail == 0 {
 		c.stats.Bypasses++
 		return AccessResult{Bypass: true}
 	}
+	var victim int
+	if inv := avail &^ c.valid[set]; inv != 0 {
+		victim = bits.TrailingZeros64(inv)
+	} else {
+		victim = -1
+		var oldest uint64
+		for m := avail; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			if victim == -1 || c.lru[base+w] < oldest {
+				victim = w
+				oldest = c.lru[base+w]
+			}
+		}
+	}
 
 	res := AccessResult{Fill: true}
-	ln := c.frame(set, victim)
-	if ln.valid && ln.dirty {
+	vbit := uint64(1) << uint(victim)
+	if c.valid[set]&c.dirty[set]&vbit != 0 {
 		res.Writeback = true
-		res.WritebackAddr = c.addrOf(set, ln.tag)
+		res.WritebackAddr = c.addrOf(set, c.tags[base+victim])
 		c.stats.Writebacks++
 	}
-	ln.tag = tag
-	ln.valid = true
-	ln.dirty = write
-	ln.lru = c.lruClock
+	c.tags[base+victim] = tag
+	c.valid[set] |= vbit
+	if write {
+		c.dirty[set] |= vbit
+	} else {
+		c.dirty[set] &^= vbit
+	}
+	c.lru[base+victim] = c.lruClock
 	c.stats.Fills++
 	return res
 }
 
 // addrOf reconstructs the block-aligned address of (set, tag).
 func (c *Cache) addrOf(set int, tag uint64) uint64 {
-	return (tag<<bits.Len64(c.setMask) | uint64(set)) << c.setShift
+	return (tag<<c.setBits | uint64(set)) << c.setShift
+}
+
+// findWay locates the valid, non-faulty way holding tag in set, or -1.
+func (c *Cache) findWay(set int, tag uint64) int {
+	base := set * c.ways
+	for m := c.valid[set] &^ c.faulty[set]; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if c.tags[base+w] == tag {
+			return w
+		}
+	}
+	return -1
 }
 
 // FindFrame locates the valid, non-faulty frame holding addr, if any,
@@ -246,11 +284,8 @@ func (c *Cache) addrOf(set int, tag uint64) uint64 {
 // to invalidate remote copies.
 func (c *Cache) FindFrame(addr uint64) (set, way int, ok bool) {
 	s, tag := c.indexOf(addr)
-	for w := 0; w < c.ways; w++ {
-		ln := c.frame(s, w)
-		if ln.valid && !ln.faulty && ln.tag == tag {
-			return s, w, true
-		}
+	if w := c.findWay(s, tag); w >= 0 {
+		return s, w, true
 	}
 	return 0, 0, false
 }
@@ -259,13 +294,7 @@ func (c *Cache) FindFrame(addr uint64) (set, way int, ok bool) {
 // touching LRU state or statistics.
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.indexOf(addr)
-	for w := 0; w < c.ways; w++ {
-		ln := c.frame(set, w)
-		if ln.valid && !ln.faulty && ln.tag == tag {
-			return true
-		}
-	}
-	return false
+	return c.findWay(set, tag) >= 0
 }
 
 // BlockMeta is a read-only snapshot of one frame's metadata.
@@ -278,12 +307,13 @@ type BlockMeta struct {
 
 // Meta returns the metadata snapshot of frame (set, way).
 func (c *Cache) Meta(set, way int) BlockMeta {
-	ln := c.frame(set, way)
+	c.checkFrame(set, way)
+	bit := uint64(1) << uint(way)
 	return BlockMeta{
-		Valid:  ln.valid,
-		Dirty:  ln.dirty,
-		Faulty: ln.faulty,
-		Addr:   c.addrOf(set, ln.tag),
+		Valid:  c.valid[set]&bit != 0,
+		Dirty:  c.dirty[set]&bit != 0,
+		Faulty: c.faulty[set]&bit != 0,
+		Addr:   c.addrOf(set, c.tags[set*c.ways+way]),
 	}
 }
 
@@ -291,14 +321,15 @@ func (c *Cache) Meta(set, way int) BlockMeta {
 // whether a writeback is needed (it was valid and dirty). The caller is
 // responsible for pushing the writeback to the next level first.
 func (c *Cache) InvalidateFrame(set, way int) (needWriteback bool, addr uint64) {
-	ln := c.frame(set, way)
-	needWriteback = ln.valid && ln.dirty
-	addr = c.addrOf(set, ln.tag)
-	if ln.valid {
+	c.checkFrame(set, way)
+	bit := uint64(1) << uint(way)
+	needWriteback = c.valid[set]&c.dirty[set]&bit != 0
+	addr = c.addrOf(set, c.tags[set*c.ways+way])
+	if c.valid[set]&bit != 0 {
 		c.stats.Invals++
 	}
-	ln.valid = false
-	ln.dirty = false
+	c.valid[set] &^= bit
+	c.dirty[set] &^= bit
 	return needWriteback, addr
 }
 
@@ -307,21 +338,22 @@ func (c *Cache) InvalidateFrame(set, way int) (needWriteback bool, addr uint64) 
 // Faulty set has Valid cleared"); the caller must have handled any
 // needed writeback via InvalidateFrame first.
 func (c *Cache) SetFaulty(set, way int, faulty bool) {
-	ln := c.frame(set, way)
-	ln.faulty = faulty
+	c.checkFrame(set, way)
+	bit := uint64(1) << uint(way)
 	if faulty {
-		ln.valid = false
-		ln.dirty = false
+		c.faulty[set] |= bit
+		c.valid[set] &^= bit
+		c.dirty[set] &^= bit
+	} else {
+		c.faulty[set] &^= bit
 	}
 }
 
 // FaultyCount returns the number of frames currently marked faulty.
 func (c *Cache) FaultyCount() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].faulty {
-			n++
-		}
+	for _, m := range c.faulty {
+		n += bits.OnesCount64(m)
 	}
 	return n
 }
@@ -329,12 +361,20 @@ func (c *Cache) FaultyCount() int {
 // ValidCount returns the number of valid frames.
 func (c *Cache) ValidCount() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid {
-			n++
-		}
+	for _, m := range c.valid {
+		n += bits.OnesCount64(m)
 	}
 	return n
+}
+
+// FaultyMask returns the faulty-way bitmask of one set (bit w set ⇔
+// frame (set,w) faulty). Voltage-transition code uses it to find
+// changed blocks without probing every frame.
+func (c *Cache) FaultyMask(set int) uint64 {
+	if set < 0 || set >= c.sets {
+		panic(fmt.Sprintf("cache: %s: set %d out of %d", c.name, set, c.sets))
+	}
+	return c.faulty[set]
 }
 
 // FlushAll writes back and invalidates every valid frame, invoking sink
@@ -354,18 +394,22 @@ func (c *Cache) FlushAll(sink func(addr uint64)) {
 // It returns the first violation found, or nil.
 func (c *Cache) CheckInvariants() error {
 	for s := 0; s < c.sets; s++ {
-		seen := make(map[uint64]int, c.ways)
-		for w := 0; w < c.ways; w++ {
-			ln := c.frame(s, w)
-			if ln.faulty && ln.valid {
-				return fmt.Errorf("cache: %s: set %d way %d is faulty yet valid", c.name, s, w)
-			}
-			if ln.valid {
-				if prev, dup := seen[ln.tag]; dup {
+		if bad := c.faulty[s] & c.valid[s]; bad != 0 {
+			w := bits.TrailingZeros64(bad)
+			return fmt.Errorf("cache: %s: set %d way %d is faulty yet valid", c.name, s, w)
+		}
+		// Duplicate-tag scan over the packed tag slice: for each valid
+		// way, compare against the valid ways after it. Associativity is
+		// ≤ 64, so the quadratic scan is cheap and allocation-free.
+		base := s * c.ways
+		for m := c.valid[s]; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			for m2 := m & (m - 1); m2 != 0; m2 &= m2 - 1 {
+				w2 := bits.TrailingZeros64(m2)
+				if c.tags[base+w] == c.tags[base+w2] {
 					return fmt.Errorf("cache: %s: set %d ways %d and %d share tag %#x",
-						c.name, s, prev, w, ln.tag)
+						c.name, s, w, w2, c.tags[base+w])
 				}
-				seen[ln.tag] = w
 			}
 		}
 	}

@@ -1,0 +1,231 @@
+package cache
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// refCache is the pre-packing reference implementation — one struct per
+// frame, per-way scans — retained verbatim (modulo renames) so the
+// differential test below can assert the packed-bitmask cache is
+// observationally identical on arbitrary access/fault/invalidate
+// sequences.
+type refLine struct {
+	tag    uint64
+	lru    uint64
+	valid  bool
+	dirty  bool
+	faulty bool
+}
+
+type refCache struct {
+	sets       int
+	ways       int
+	blockBytes int
+	setShift   uint
+	setMask    uint64
+	lines      []refLine
+	lruClock   uint64
+	stats      Stats
+}
+
+func newRefCache(cfg Config) *refCache {
+	sets := cfg.SizeBytes / (cfg.Assoc * cfg.BlockBytes)
+	return &refCache{
+		sets:       sets,
+		ways:       cfg.Assoc,
+		blockBytes: cfg.BlockBytes,
+		setShift:   uint(bits.Len(uint(cfg.BlockBytes)) - 1),
+		setMask:    uint64(sets - 1),
+		lines:      make([]refLine, sets*cfg.Assoc),
+	}
+}
+
+func (c *refCache) indexOf(addr uint64) (set int, tag uint64) {
+	blk := addr >> c.setShift
+	return int(blk & c.setMask), blk >> bits.Len64(c.setMask)
+}
+
+func (c *refCache) frame(set, way int) *refLine { return &c.lines[set*c.ways+way] }
+
+func (c *refCache) addrOf(set int, tag uint64) uint64 {
+	return (tag<<bits.Len64(c.setMask) | uint64(set)) << c.setShift
+}
+
+func (c *refCache) Access(addr uint64, write bool) AccessResult {
+	c.stats.Accesses++
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	set, tag := c.indexOf(addr)
+	c.lruClock++
+	for w := 0; w < c.ways; w++ {
+		ln := c.frame(set, w)
+		if ln.valid && !ln.faulty && ln.tag == tag {
+			c.stats.Hits++
+			ln.lru = c.lruClock
+			if write {
+				ln.dirty = true
+			}
+			return AccessResult{Hit: true}
+		}
+	}
+	c.stats.Misses++
+	victim := -1
+	var oldest uint64
+	for w := 0; w < c.ways; w++ {
+		ln := c.frame(set, w)
+		if ln.faulty {
+			continue
+		}
+		if !ln.valid {
+			victim = w
+			break
+		}
+		if victim == -1 || ln.lru < oldest {
+			victim = w
+			oldest = ln.lru
+		}
+	}
+	if victim == -1 {
+		c.stats.Bypasses++
+		return AccessResult{Bypass: true}
+	}
+	res := AccessResult{Fill: true}
+	ln := c.frame(set, victim)
+	if ln.valid && ln.dirty {
+		res.Writeback = true
+		res.WritebackAddr = c.addrOf(set, ln.tag)
+		c.stats.Writebacks++
+	}
+	ln.tag = tag
+	ln.valid = true
+	ln.dirty = write
+	ln.lru = c.lruClock
+	c.stats.Fills++
+	return res
+}
+
+func (c *refCache) InvalidateFrame(set, way int) (needWriteback bool, addr uint64) {
+	ln := c.frame(set, way)
+	needWriteback = ln.valid && ln.dirty
+	addr = c.addrOf(set, ln.tag)
+	if ln.valid {
+		c.stats.Invals++
+	}
+	ln.valid = false
+	ln.dirty = false
+	return needWriteback, addr
+}
+
+func (c *refCache) SetFaulty(set, way int, faulty bool) {
+	ln := c.frame(set, way)
+	ln.faulty = faulty
+	if faulty {
+		ln.valid = false
+		ln.dirty = false
+	}
+}
+
+func (c *refCache) Meta(set, way int) BlockMeta {
+	ln := c.frame(set, way)
+	return BlockMeta{Valid: ln.valid, Dirty: ln.dirty, Faulty: ln.faulty, Addr: c.addrOf(set, ln.tag)}
+}
+
+// TestDifferentialAgainstReference drives the packed cache and the
+// reference implementation with one random interleaving of demand
+// accesses, fault-bit flips (with the reference transition ordering:
+// writeback-check, invalidate, set faulty) and explicit invalidations,
+// asserting every access result, writeback address, metadata snapshot
+// and the final statistics agree exactly.
+func TestDifferentialAgainstReference(t *testing.T) {
+	configs := []Config{
+		{Name: "d4", SizeBytes: 16 << 10, Assoc: 4, BlockBytes: 64},
+		{Name: "d8", SizeBytes: 64 << 10, Assoc: 8, BlockBytes: 64},
+		{Name: "dm", SizeBytes: 8 << 10, Assoc: 1, BlockBytes: 32},
+		{Name: "fa", SizeBytes: 2 << 10, Assoc: 32, BlockBytes: 64},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			got := MustNew(cfg)
+			want := newRefCache(cfg)
+			rng := stats.NewRNG(stats.Derive(0xd1ff, uint64(cfg.Assoc)))
+			sets, ways := got.Sets(), got.Ways()
+			// Small address space so sets collide and evictions are common.
+			span := uint64(sets*ways*cfg.BlockBytes) * 3
+			for i := 0; i < 200_000; i++ {
+				switch op := rng.Intn(100); {
+				case op < 90: // demand access
+					addr := uint64(rng.Intn(int(span/8))) * 8
+					write := rng.Bool(0.3)
+					g, w := got.Access(addr, write), want.Access(addr, write)
+					if g != w {
+						t.Fatalf("op %d: Access(%#x,%v) = %+v, reference %+v", i, addr, write, g, w)
+					}
+				case op < 96: // flip one frame's faulty bit, transition-style
+					s, w := rng.Intn(sets), rng.Intn(ways)
+					faulty := rng.Bool(0.5)
+					if faulty {
+						gn, ga := got.InvalidateFrame(s, w)
+						wn, wa := want.InvalidateFrame(s, w)
+						if gn != wn || (gn && ga != wa) {
+							t.Fatalf("op %d: InvalidateFrame(%d,%d) = (%v,%#x), reference (%v,%#x)", i, s, w, gn, ga, wn, wa)
+						}
+					}
+					got.SetFaulty(s, w, faulty)
+					want.SetFaulty(s, w, faulty)
+				default: // explicit invalidation
+					s, w := rng.Intn(sets), rng.Intn(ways)
+					gn, ga := got.InvalidateFrame(s, w)
+					wn, wa := want.InvalidateFrame(s, w)
+					if gn != wn || (gn && ga != wa) {
+						t.Fatalf("op %d: InvalidateFrame(%d,%d) = (%v,%#x), reference (%v,%#x)", i, s, w, gn, ga, wn, wa)
+					}
+				}
+				if i%10_000 == 0 {
+					if err := got.CheckInvariants(); err != nil {
+						t.Fatalf("op %d: %v", i, err)
+					}
+				}
+			}
+			if gs, ws := got.Stats(), want.stats; gs != ws {
+				t.Fatalf("final stats diverge:\npacked    %+v\nreference %+v", gs, ws)
+			}
+			for s := 0; s < sets; s++ {
+				for w := 0; w < ways; w++ {
+					gm, wm := got.Meta(s, w), want.Meta(s, w)
+					// Addr is only meaningful when valid: the packed cache
+					// and the reference both keep stale tags, but a frame
+					// never filled holds tag 0 in each.
+					if gm != wm {
+						t.Fatalf("meta (%d,%d): packed %+v, reference %+v", s, w, gm, wm)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAccessZeroAllocs pins the hot-path allocation contract: a demand
+// access (hit or miss with eviction) performs no heap allocation.
+func TestAccessZeroAllocs(t *testing.T) {
+	c := MustNew(Config{Name: "alloc", SizeBytes: 16 << 10, Assoc: 4, BlockBytes: 64})
+	rng := stats.NewRNG(7)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 16))
+	}
+	i := 0
+	avg := testing.AllocsPerRun(10_000, func() {
+		c.Access(addrs[i%len(addrs)], i%3 == 0)
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("Access allocates %v allocs/op, want 0", avg)
+	}
+}

@@ -86,6 +86,30 @@ type Controller struct {
 	level     int // current 1-based VDD level
 	lastCycle uint64
 
+	// Per-access dynamic energies at the current level, cached so the
+	// access hot path avoids recomputing cacti's power-law model (a
+	// math.Pow per access); refreshed by refreshAccessEnergy whenever
+	// the level changes. The cached values are the exact floats
+	// Power.AccessEnergy would return, so accounting is bit-identical.
+	readAccessJ  float64
+	writeAccessJ float64
+
+	// Fault-map level deltas: the blocks with FM > 0, in ascending
+	// block-index order, paired with their FM values. By the fault
+	// inclusion property a transition from level f to level n only
+	// changes the Faulty bits of blocks whose FM lies in [n, f-1]
+	// (descent) or [f, n-1] (ascent), so Transition scans this short
+	// list instead of every set×way. Built once in NewController — the
+	// fault map must not be mutated afterwards (all SetFM/SetFromVmin
+	// calls happen at construction time in this codebase).
+	deltaIdx []int32
+	deltaFM  []uint8
+	// faultSynced is false until the first Transition: the cache starts
+	// with every Faulty bit clear regardless of level, so the first
+	// call syncs from an effective level N+1 (marking every block with
+	// FM ≥ next), exactly as the full Listing 2 walk would.
+	faultSynced bool
+
 	// Energy accounting (joules).
 	staticJ     float64
 	dynamicJ    float64
@@ -137,7 +161,7 @@ func NewController(mode Mode, c *cache.Cache, m *faultmap.Map, levels faultmap.L
 	if clockHz <= 0 {
 		return nil, fmt.Errorf("core: non-positive clock %v", clockHz)
 	}
-	return &Controller{
+	ct := &Controller{
 		Mode:                 mode,
 		Cache:                c,
 		Map:                  m,
@@ -147,7 +171,24 @@ func NewController(mode Mode, c *cache.Cache, m *faultmap.Map, levels faultmap.L
 		ClockHz:              clockHz,
 		level:                levels.N(),
 		timeAtLevelCycles:    make([]uint64, levels.N()),
-	}, nil
+	}
+	if mode != Baseline {
+		for b, n := 0, m.NumBlocks(); b < n; b++ {
+			if fm := m.FM(b); fm > 0 {
+				ct.deltaIdx = append(ct.deltaIdx, int32(b))
+				ct.deltaFM = append(ct.deltaFM, uint8(fm))
+			}
+		}
+	}
+	ct.refreshAccessEnergy()
+	return ct, nil
+}
+
+// refreshAccessEnergy recomputes the cached per-access dynamic energies
+// for the current level.
+func (ct *Controller) refreshAccessEnergy() {
+	ct.readAccessJ = ct.Power.AccessEnergy(ct.VDD(), false).TotalPJ * 1e-12
+	ct.writeAccessJ = ct.Power.AccessEnergy(ct.VDD(), true).TotalPJ * 1e-12
 }
 
 // SetSink attaches a telemetry sink. Every subsequent Transition call
@@ -188,15 +229,17 @@ func (ct *Controller) AdvanceTo(cycle uint64) {
 
 // OnAccess charges the dynamic energy of one access at the current VDD.
 func (ct *Controller) OnAccess(write bool) {
-	e := ct.Power.AccessEnergy(ct.VDD(), write)
-	ct.dynamicJ += e.TotalPJ * 1e-12
+	if write {
+		ct.dynamicJ += ct.writeAccessJ
+	} else {
+		ct.dynamicJ += ct.readAccessJ
+	}
 }
 
 // OnFill charges the dynamic energy of a block fill (a write of the
 // whole block into the data array).
 func (ct *Controller) OnFill() {
-	e := ct.Power.AccessEnergy(ct.VDD(), true)
-	ct.dynamicJ += e.TotalPJ * 1e-12
+	ct.dynamicJ += ct.writeAccessJ
 }
 
 // Transition implements the paper's Listing 2: move the cache to the
@@ -216,41 +259,61 @@ func (ct *Controller) Transition(next int, now uint64, sink func(addr uint64)) T
 	ct.AdvanceTo(now)
 	res := TransitionResult{FromLevel: ct.level, ToLevel: next}
 
+	// Delta walk, observationally equivalent to Listing 2's full
+	// set×way metadata sweep (see DESIGN.md): by the fault inclusion
+	// property a descent f→n only creates faults among blocks with
+	// FM ∈ [n, f-1], and an ascent only recovers blocks with
+	// FM ∈ [f, n-1]; every other Faulty bit is already correct. The
+	// delta list is in ascending block-index order, so writebacks reach
+	// the next level in exactly the order the full sweep emitted them.
+	// The simulated hardware still sweeps every set, which is what
+	// PenaltyCycles and the transition energy below charge for.
+	from := ct.level
+	if !ct.faultSynced {
+		// First transition: every Faulty bit is still clear, so sync as
+		// if descending from a level above the top (marking all blocks
+		// with FM ≥ next), exactly as the full sweep would.
+		from = ct.Levels.N() + 1
+		ct.faultSynced = true
+	}
 	sets, ways := ct.Cache.Sets(), ct.Cache.Ways()
-	for s := 0; s < sets; s++ {
-		// The hardware handles each way of the set in parallel; the cost
-		// model below charges two cycles per set regardless of ways.
-		for w := 0; w < ways; w++ {
-			b := ct.Cache.BlockIndex(s, w)
-			meta := ct.Cache.Meta(s, w)
-			if ct.Map.FaultyAt(b, next) {
-				if meta.Valid {
-					if meta.Dirty {
-						if need, addr := ct.Cache.InvalidateFrame(s, w); need {
-							res.Writebacks++
-							if sink != nil {
-								sink(addr)
-							}
-						}
-					} else {
-						ct.Cache.InvalidateFrame(s, w)
-					}
-					res.Invalidations++
-					if ct.pendingRefill == nil {
-						ct.pendingRefill = make(map[uint64]struct{})
-					}
-					ct.pendingRefill[meta.Addr] = struct{}{}
-				}
-				if !meta.Faulty {
-					res.NewFaulty++
-				}
-				ct.Cache.SetFaulty(s, w, true)
-			} else {
-				if meta.Faulty {
-					res.Recovered++
-				}
-				ct.Cache.SetFaulty(s, w, false)
+	if next < from {
+		lo, hi := uint8(next), uint8(from-1)
+		for i, b := range ct.deltaIdx {
+			if fm := ct.deltaFM[i]; fm < lo || fm > hi {
+				continue
 			}
+			s, w := int(b)/ways, int(b)%ways
+			meta := ct.Cache.Meta(s, w)
+			if meta.Valid {
+				if need, addr := ct.Cache.InvalidateFrame(s, w); need {
+					res.Writebacks++
+					if sink != nil {
+						sink(addr)
+					}
+				}
+				res.Invalidations++
+				if ct.pendingRefill == nil {
+					ct.pendingRefill = make(map[uint64]struct{})
+				}
+				ct.pendingRefill[meta.Addr] = struct{}{}
+			}
+			if !meta.Faulty {
+				res.NewFaulty++
+			}
+			ct.Cache.SetFaulty(s, w, true)
+		}
+	} else if next > from {
+		lo, hi := uint8(from), uint8(next-1)
+		for i, b := range ct.deltaIdx {
+			if fm := ct.deltaFM[i]; fm < lo || fm > hi {
+				continue
+			}
+			s, w := int(b)/ways, int(b)%ways
+			if ct.Cache.Meta(s, w).Faulty {
+				res.Recovered++
+			}
+			ct.Cache.SetFaulty(s, w, false)
 		}
 	}
 	res.PenaltyCycles = 2*uint64(sets) + ct.VoltagePenaltyCycles
@@ -261,6 +324,7 @@ func (ct *Controller) Transition(next int, now uint64, sink func(addr uint64)) T
 	ct.transitionJ += 2 * float64(sets) * eFixed * 1e-12
 
 	ct.level = next
+	ct.refreshAccessEnergy()
 	ct.transitions++
 	ct.transitionCycles += res.PenaltyCycles
 	ct.transitionWBs += uint64(res.Writebacks)

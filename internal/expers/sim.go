@@ -1,12 +1,15 @@
 package expers
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/cpusim"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -75,6 +78,97 @@ func Fig4(cfg cpusim.SystemConfig, opts cpusim.RunOptions, progress io.Writer) (
 			}
 		}
 		data.Rows = append(data.Rows, row)
+	}
+	return data, nil
+}
+
+// Fig4Parallel runs the same workload×mode grid as Fig4, but fanned out
+// over the internal/runner worker pool (workers ≤ 0 uses GOMAXPROCS).
+// Every cell is an independent simulation pinned to opts.Seed, exactly
+// as the serial loop runs it — cpusim's concurrency contract permits one
+// System per goroutine — so the assembled Fig4Data is byte-identical to
+// Fig4's regardless of worker count or completion order; only wall-clock
+// time changes. Progress lines (one per finished run, in completion
+// order) go to progress when non-nil.
+func Fig4Parallel(ctx context.Context, cfg cpusim.SystemConfig, opts cpusim.RunOptions, workers int, progress io.Writer) (Fig4Data, error) {
+	return Fig4ParallelWorkloads(ctx, cfg, trace.Suite(), opts, workers, progress)
+}
+
+// Fig4ParallelWorkloads is Fig4Parallel over an explicit workload list;
+// benchmarks use it to run representative subsets of the suite.
+func Fig4ParallelWorkloads(ctx context.Context, cfg cpusim.SystemConfig, workloads []trace.Workload, opts cpusim.RunOptions, workers int, progress io.Writer) (Fig4Data, error) {
+	modes := []core.Mode{core.Baseline, core.SPCS, core.DPCS}
+	type cell struct {
+		workload trace.Workload
+		mode     core.Mode
+	}
+	cells := make([]cell, 0, len(workloads)*len(modes))
+	for _, w := range workloads {
+		for _, m := range modes {
+			cells = append(cells, cell{w, m})
+		}
+	}
+
+	// Each job writes its own element of results, so workers never share
+	// state; the campaign kind is a local closure because the cells
+	// carry live trace.Workload values rather than wire-format params.
+	results := make([]cpusim.Result, len(cells))
+	reg := runner.NewRegistry()
+	reg.MustRegister("fig4-cell", func(ctx context.Context, _ uint64, params json.RawMessage) (any, error) {
+		var idx int
+		if err := json.Unmarshal(params, &idx); err != nil {
+			return nil, err
+		}
+		c := cells[idx]
+		// Determinism comes from opts.Seed pinned into every run, as in
+		// the serial loop — not from the runner's derived per-job seed.
+		res, err := cpusim.RunContext(ctx, cfg, c.mode, c.workload, opts)
+		if err != nil {
+			return nil, err
+		}
+		results[idx] = res
+		return nil, nil
+	})
+
+	jobs := make([]runner.Spec, len(cells))
+	for i, c := range cells {
+		params, err := json.Marshal(i)
+		if err != nil {
+			return Fig4Data{}, err
+		}
+		jobs[i] = runner.Spec{
+			Kind:   "fig4-cell",
+			Name:   fmt.Sprintf("%s/%s/%v", cfg.Name, c.workload.Name, c.mode),
+			Params: params,
+		}
+	}
+	ropts := runner.Options{Workers: workers}
+	if progress != nil {
+		ropts.OnResult = func(r runner.JobResult) {
+			if r.Status == runner.StatusDone {
+				fmt.Fprintf(progress, "  %s\n", results[r.Index])
+			}
+		}
+	}
+	cres, err := runner.Run(ctx, reg, runner.Campaign{Name: "fig4-" + cfg.Name, Seed: opts.Seed, Jobs: jobs}, ropts)
+	if err != nil {
+		return Fig4Data{}, err
+	}
+	for _, r := range cres.Results {
+		if r.Status != runner.StatusDone {
+			c := cells[r.Index]
+			return Fig4Data{}, fmt.Errorf("expers: %s/%s/%v: %s", cfg.Name, c.workload.Name, c.mode, r.Error)
+		}
+	}
+
+	data := Fig4Data{Config: cfg.Name}
+	for i, w := range workloads {
+		data.Rows = append(data.Rows, Fig4Row{
+			Workload: w.Name,
+			Baseline: results[i*len(modes)+0],
+			SPCS:     results[i*len(modes)+1],
+			DPCS:     results[i*len(modes)+2],
+		})
 	}
 	return data, nil
 }

@@ -1,6 +1,8 @@
 package expers
 
 import (
+	"context"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -125,6 +127,48 @@ func TestFig4RunsWholeSuiteSmoke(t *testing.T) {
 	for _, r := range d.Rows {
 		if r.Baseline.TotalCacheEnergyJ <= 0 {
 			t.Errorf("%s zero baseline energy", r.Workload)
+		}
+	}
+}
+
+// TestFig4ParallelMatchesSerial asserts the worker-pool grid produces
+// byte-identical Fig4Data to the serial loop: every cell pins the same
+// RunOptions.Seed and owns its own System, so worker count and
+// completion order cannot influence any simulated result.
+func TestFig4ParallelMatchesSerial(t *testing.T) {
+	cfg := cpusim.ConfigA()
+	opts := cpusim.RunOptions{WarmupInstr: 20_000, SimInstr: 80_000, Seed: 7}
+	var workloads []trace.Workload
+	for _, name := range []string{"hmmer.s", "mcf.s", "libquantum.s"} {
+		w, ok := trace.ByName(name)
+		if !ok {
+			t.Fatalf("workload %s missing", name)
+		}
+		workloads = append(workloads, w)
+	}
+	serial := Fig4Data{Config: cfg.Name}
+	for _, w := range workloads {
+		row := Fig4Row{Workload: w.Name}
+		var err error
+		if row.Baseline, err = cpusim.Run(cfg, core.Baseline, w, opts); err != nil {
+			t.Fatal(err)
+		}
+		if row.SPCS, err = cpusim.Run(cfg, core.SPCS, w, opts); err != nil {
+			t.Fatal(err)
+		}
+		if row.DPCS, err = cpusim.Run(cfg, core.DPCS, w, opts); err != nil {
+			t.Fatal(err)
+		}
+		serial.Rows = append(serial.Rows, row)
+	}
+	for _, workers := range []int{1, 4} {
+		parallel, err := Fig4ParallelWorkloads(context.Background(), cfg, workloads, opts, workers, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("workers=%d: parallel Fig4Data diverges from serial:\nserial   %+v\nparallel %+v",
+				workers, serial, parallel)
 		}
 	}
 }

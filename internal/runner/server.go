@@ -265,6 +265,17 @@ func (s *Server) execute(ctx context.Context, cs *campaignState) {
 	defer s.wg.Done()
 	defer cs.cancel()
 	cs.addEvent(obs.JobEvent{Type: obs.EventCampaignStarted, Campaign: cs.campaign.Name, Index: -1})
+	// Resolve the per-kind metric series once up front: With takes the
+	// family lock, so calling it per job result would contend with the
+	// scrape path on large campaigns.
+	durationByKind := make(map[string]*obs.Histogram)
+	errorsByKind := make(map[string]*obs.Counter)
+	for _, spec := range cs.campaign.Jobs {
+		if _, ok := durationByKind[spec.Kind]; !ok {
+			durationByKind[spec.Kind] = s.metrics.jobDuration.With(spec.Kind)
+			errorsByKind[spec.Kind] = s.metrics.jobErrors.With(spec.Kind)
+		}
+	}
 	opts := Options{
 		Workers: cs.workers,
 		OnProgress: func(p Progress) {
@@ -285,12 +296,12 @@ func (s *Server) execute(ctx context.Context, cs *campaignState) {
 			switch r.Status {
 			case StatusDone:
 				s.metrics.jobsDone.Inc()
-				s.metrics.jobDuration.With(r.Kind).Observe(r.Duration.Seconds())
+				durationByKind[r.Kind].Observe(r.Duration.Seconds())
 			case StatusFailed:
 				typ = obs.EventJobFailed
 				s.metrics.jobsFailed.Inc()
-				s.metrics.jobErrors.With(r.Kind).Inc()
-				s.metrics.jobDuration.With(r.Kind).Observe(r.Duration.Seconds())
+				errorsByKind[r.Kind].Inc()
+				durationByKind[r.Kind].Observe(r.Duration.Seconds())
 			case StatusCancelled:
 				typ = obs.EventJobCancelled
 			}

@@ -136,6 +136,24 @@ type synthetic struct {
 	strideStep uint64
 	chasePtr   uint64
 	zipf       *stats.Zipf
+
+	// Per-instruction fast-path state, hoisted out of Next: the phase
+	// struct copy and the repeated mix-threshold additions dominated the
+	// generator's profile. codeBlocks/pcLimit are fixed per workload;
+	// the rest is refreshed by enterPhase. The cumulative thresholds are
+	// summed left-to-right exactly as the inline comparisons were, so
+	// every comparison sees bit-identical floats and the RNG draw
+	// sequence is unchanged.
+	codeBlocks int
+	pcLimit    uint64
+	memFrac    float64
+	writeFrac  float64
+	cumSeq     float64
+	cumStride  float64
+	cumZipf    float64
+	cumChase   float64
+	ws         uint64
+	wsBlocks   int
 }
 
 const blockBytes = 64 // generators think in cache-block-sized units
@@ -157,6 +175,8 @@ func New(w Workload, seed uint64) (Generator, error) {
 		dataBase: 0x1000_0000,
 	}
 	g.pc = g.codeBase
+	g.codeBlocks = int(w.CodeBytes / blockBytes)
+	g.pcLimit = g.codeBase + w.CodeBytes
 	g.enterPhase(0)
 	return g, nil
 }
@@ -186,25 +206,36 @@ func (g *synthetic) enterPhase(i int) {
 	// A stride that is co-prime-ish with the set count: 5 blocks.
 	g.strideStep = 5 * blockBytes
 	g.chasePtr = uint64(g.rng.Intn(nblocks)) * blockBytes
+
+	// Refresh the hoisted fast-path state. The thresholds accumulate in
+	// the same left-to-right order the old inline sums used.
+	g.memFrac = p.MemFrac
+	g.writeFrac = p.WriteFrac
+	g.cumSeq = p.Mix.Seq
+	g.cumStride = g.cumSeq + p.Mix.Stride
+	g.cumZipf = g.cumStride + p.Mix.Zipf
+	g.cumChase = g.cumZipf + p.Mix.Chase
+	g.ws = p.WorkingSetBytes
+	g.wsBlocks = int(p.WorkingSetBytes / blockBytes)
 }
 
-func (g *synthetic) phase() Phase { return g.w.Phases[g.phaseIdx] }
-
-// Next implements Generator.
+// Next implements Generator. The body reads only the hoisted per-phase
+// state (no Phase struct copy) and keeps the rng.Bool calls as-is —
+// Bool has draw-free fast paths for p ≤ 0 and p ≥ 1, so inlining it as
+// a Float64 comparison would shift the RNG stream.
 func (g *synthetic) Next(ins *Instr) {
 	if g.phaseLeft == 0 {
 		g.enterPhase((g.phaseIdx + 1) % len(g.w.Phases))
 	}
 	g.phaseLeft--
-	p := g.phase()
 
 	// Instruction fetch: sequential with occasional jumps to a random
 	// 64-byte-aligned target inside the code footprint.
 	if g.rng.Bool(g.w.JumpProb) {
-		g.pc = g.codeBase + uint64(g.rng.Intn(int(g.w.CodeBytes/blockBytes)))*blockBytes
+		g.pc = g.codeBase + uint64(g.rng.Intn(g.codeBlocks))*blockBytes
 	} else {
 		g.pc += 4
-		if g.pc >= g.codeBase+g.w.CodeBytes {
+		if g.pc >= g.pcLimit {
 			g.pc = g.codeBase
 		}
 	}
@@ -213,36 +244,35 @@ func (g *synthetic) Next(ins *Instr) {
 	ins.Addr = 0
 	ins.Write = false
 
-	if !g.rng.Bool(p.MemFrac) {
+	if !g.rng.Bool(g.memFrac) {
 		return
 	}
-	ws := p.WorkingSetBytes
 	var off uint64
 	u := g.rng.Float64()
 	switch {
-	case u < p.Mix.Seq:
+	case u < g.cumSeq:
 		g.seqPtr += 8 // 8-byte stride: eight touches per 64 B block
-		if g.seqPtr >= ws {
+		if g.seqPtr >= g.ws {
 			g.seqPtr = 0
 		}
 		off = g.seqPtr
-	case u < p.Mix.Seq+p.Mix.Stride:
+	case u < g.cumStride:
 		g.stridePtr += g.strideStep
-		if g.stridePtr >= ws {
+		if g.stridePtr >= g.ws {
 			g.stridePtr %= blockBytes // restart with a small offset drift
 		}
 		off = g.stridePtr
-	case u < p.Mix.Seq+p.Mix.Stride+p.Mix.Zipf:
+	case u < g.cumZipf:
 		off = uint64(g.zipf.Draw()) * blockBytes
-	case u < p.Mix.Seq+p.Mix.Stride+p.Mix.Zipf+p.Mix.Chase:
+	case u < g.cumChase:
 		// Dependent random walk: next node anywhere in the working set.
-		g.chasePtr = uint64(g.rng.Intn(int(ws/blockBytes))) * blockBytes
+		g.chasePtr = uint64(g.rng.Intn(g.wsBlocks)) * blockBytes
 		off = g.chasePtr
 	default:
-		off = uint64(g.rng.Intn(int(ws/blockBytes)))*blockBytes +
+		off = uint64(g.rng.Intn(g.wsBlocks))*blockBytes +
 			uint64(g.rng.Intn(blockBytes/8))*8
 	}
 	ins.HasMem = true
 	ins.Addr = g.dataBase + off
-	ins.Write = g.rng.Bool(p.WriteFrac)
+	ins.Write = g.rng.Bool(g.writeFrac)
 }

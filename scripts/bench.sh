@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# bench.sh — archive a benchmark snapshot and compare it to the most
+# recent previous one. Runs every benchmark (the figure pipelines in the
+# root bench_test.go, the policy-tick hot path, the metrics registry)
+# with allocation stats, writes the test2json stream to a new
+# BENCH_<date>.json (never clobbering an existing snapshot: a second
+# run the same day becomes BENCH_<date>.2.json, then .3, …), and prints
+# the ns/op deltas versus the previous snapshot via benchcmp.sh.
+# BENCHTIME=1x (default) is a smoke-speed run; raise it for
+# steady-state numbers.
+set -eu
+cd "$(dirname "$0")/.."
+BENCHTIME=${BENCHTIME:-1x}
+
+prev=$(ls -t BENCH_*.json 2>/dev/null | head -1 || true)
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+go test -run '^$' -bench . -benchtime "$BENCHTIME" -benchmem -json \
+	. ./internal/core ./internal/obs > "$tmp"
+
+out="BENCH_$(date +%Y%m%d).json"
+i=2
+while [ -e "$out" ]; do
+	out="BENCH_$(date +%Y%m%d).${i}.json"
+	i=$((i + 1))
+done
+cp "$tmp" "$out"
+echo "wrote $out"
+
+if [ -n "$prev" ]; then
+	echo "comparison vs $prev (negative delta = faster):"
+	sh scripts/benchcmp.sh "$prev" "$out"
+fi

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# benchcmp.sh OLD.json NEW.json — compare two `go test -json` benchmark
+# snapshots (BENCH_<date>.json, see `make bench`). Parses the ns/op
+# figure of every benchmark present in NEW and prints the change versus
+# OLD; negative deltas are faster. Stdlib tooling only (sh + awk).
+set -eu
+if [ $# -ne 2 ]; then
+	echo "usage: $0 OLD.json NEW.json" >&2
+	exit 2
+fi
+awk -v OLD="$1" -v NEW="$2" '
+function parse(file, arr,   line, name, ns) {
+	while ((getline line < file) > 0) {
+		if (line !~ /ns\/op/ || line !~ /Benchmark/) continue
+		gsub(/\\t/, " ", line)
+		if (!match(line, /Benchmark[A-Za-z0-9_\/.-]+/)) continue
+		name = substr(line, RSTART, RLENGTH)
+		if (!match(line, /[0-9][0-9.]* ns\/op/)) continue
+		ns = substr(line, RSTART, RLENGTH)
+		sub(/ ns\/op/, "", ns)
+		arr[name] = ns + 0
+	}
+	close(file)
+}
+BEGIN {
+	parse(OLD, o)
+	parse(NEW, n)
+	printf "%-36s %15s %15s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+	for (name in n) {
+		if (name in o && o[name] > 0)
+			printf "%-36s %15.0f %15.0f %+8.1f%%\n", name, o[name], n[name], (n[name] / o[name] - 1) * 100 | "sort"
+		else
+			printf "%-36s %15s %15.0f %9s\n", name, "-", n[name], "new" | "sort"
+	}
+	close("sort")
+}'

@@ -13,3 +13,16 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Hot-path allocation regression gates: a cache demand access and a
+# steady-state DPCS policy tick must stay at 0 allocs/op, and the
+# metric observation paths must be allocation-free once the series
+# handle is resolved.
+go test -count=1 -run 'TestAccessZeroAllocs' ./internal/cache
+go test -count=1 -run 'TestPolicyTickZeroAllocs' ./internal/core
+go test -count=1 -run 'TestHotPathMetricsAllocFree' ./internal/obs
+
+# Short-mode benchmark smoke run: one iteration of every benchmark so a
+# crashing or pathologically slow benchmark fails the gate; timings are
+# not archived here (that is `make bench`).
+go test -short -run '^$' -bench . -benchtime 1x -benchmem . ./internal/core ./internal/obs > /dev/null
