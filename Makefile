@@ -5,12 +5,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench figures clean
+.PHONY: all build vet test race check bench fig4 sweep figures clean
 
 all: check
 
+# The whole toolkit is one binary; `./pcs help` lists the subcommands.
 build:
-	$(GO) build ./...
+	$(GO) build -o pcs ./cmd/pcs
 
 vet:
 	$(GO) vet ./...
@@ -34,8 +35,17 @@ BENCHTIME ?= 1x
 bench:
 	BENCHTIME=$(BENCHTIME) sh scripts/bench.sh
 
+# Golden runs, driven by the checked-in spec documents (DESIGN.md §9).
+# fig4 reproduces fig4_output.txt; sweep reproduces sweep_output.txt.
+fig4:
+	$(GO) run ./cmd/pcs sim -q -spec examples/fig4.json
+
+sweep:
+	$(GO) run ./cmd/pcs sweep -spec examples/sweep.json
+
 figures:
-	$(GO) run ./cmd/pcs-figures
+	$(GO) run ./cmd/pcs figures
 
 clean:
 	$(GO) clean ./...
+	rm -f pcs

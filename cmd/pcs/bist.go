@@ -1,0 +1,125 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bist"
+	"repro/internal/cli"
+	"repro/internal/faultmap"
+	"repro/internal/report"
+	"repro/internal/sram"
+	"repro/internal/stats"
+)
+
+// bistCommand demonstrates the silicon-characterisation flow the paper
+// built on its 45 nm Red Cooper test chips: a Monte-Carlo SRAM array is
+// marched at each allowed VDD level to populate the compressed
+// multi-VDD fault map, then the fault inclusion property behind the
+// log2(N+1)-bit FM encoding is verified — the old pcs-bist binary as a
+// subcommand.
+func bistCommand() *cli.Command {
+	var (
+		rows   int
+		cols   int
+		seed   uint64
+		levels string
+		march  string
+	)
+	return &cli.Command{
+		Name:    "bist",
+		Summary: "run the BIST / fault-map characterisation demo",
+		Usage:   "[-rows N] [-cols N] [-seed S] [-levels v1,v2,...] [-march ss|c]",
+		SetFlags: func(fs *flag.FlagSet) {
+			fs.IntVar(&rows, "rows", 256, "array rows (one cache block per row)")
+			fs.IntVar(&cols, "cols", 512, "array columns (bits per block)")
+			fs.Uint64Var(&seed, "seed", 1, "Monte-Carlo seed")
+			fs.StringVar(&levels, "levels", "0.54,0.70,1.00", "comma-separated VDD levels, low to high")
+			fs.StringVar(&march, "march", "ss", "march algorithm: ss (22N) or c (10N)")
+		},
+		Run: func(fs *flag.FlagSet) error {
+			volts, err := parseLevels(levels)
+			if err != nil {
+				return err
+			}
+			lv, err := faultmap.NewLevels(volts...)
+			if err != nil {
+				return err
+			}
+			var test bist.Test
+			switch march {
+			case "ss":
+				test = bist.MarchSS()
+			case "c":
+				test = bist.MarchC()
+			default:
+				return fmt.Errorf("unknown march %q", march)
+			}
+
+			fmt.Printf("%s (%dN)\n\n", test, test.OpsPerCell())
+			rng := stats.NewRNG(seed)
+			model := sram.NewWangCalhounBER()
+			arr := sram.NewArray(rng, model, rows, cols, 0.30, 1.00)
+
+			m, results, violations := bist.PopulateFaultMap(test, arr, lv)
+
+			t := report.NewTable("March results per VDD level",
+				"VDD (V)", "Ops", "Faulty cells", "Faulty rows", "Expected BER", "Observed BER")
+			for _, r := range results {
+				total := float64(rows * cols)
+				t.AddRow(fmt.Sprintf("%.2f", r.VDD), r.Ops,
+					len(r.FaultyCells), len(r.FaultyRows),
+					fmt.Sprintf("%.3e", model.BER(r.VDD)),
+					fmt.Sprintf("%.3e", float64(len(r.FaultyCells))/total))
+			}
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+
+			ft := report.NewTable("Fault map (FM value histogram)",
+				"FM value", "Meaning", "Blocks", "Fraction")
+			counts := make([]int, lv.N()+1)
+			for b := 0; b < m.NumBlocks(); b++ {
+				counts[m.FM(b)]++
+			}
+			for fmv, c := range counts {
+				meaning := "usable at every level"
+				if fmv > 0 {
+					meaning = fmt.Sprintf("faulty at levels <= %d (VDD <= %.2f V)", fmv, lv.Volts(fmv))
+				}
+				ft.AddRow(fmv, meaning, c, fmt.Sprintf("%.4f", float64(c)/float64(m.NumBlocks())))
+			}
+			if err := ft.Render(os.Stdout); err != nil {
+				return err
+			}
+
+			fmt.Printf("fault map storage: %d bits per block (%d FM + 1 Faulty)\n",
+				m.StorageBitsPerBlock(), lv.FMBits())
+			if len(violations) == 0 {
+				fmt.Println("fault inclusion property: VERIFIED (no block healthy below a faulty level)")
+				return nil
+			}
+			fmt.Printf("fault inclusion property: %d VIOLATIONS\n", len(violations))
+			for _, v := range violations {
+				fmt.Println(" ", v.Error())
+			}
+			return fmt.Errorf("fault inclusion property violated")
+		},
+	}
+}
+
+func parseLevels(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad level %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,46 @@
+// Command pcs is the single entry point to the Power/Capacity Scaling
+// reproduction. Every experiment the repository defines is a
+// subcommand:
+//
+//	pcs sim         Fig. 4 architectural simulation grid
+//	pcs sweep       design-space studies around the mechanism
+//	pcs multicore   multi-core extension (shared PCS-managed L2)
+//	pcs analytical  Fig. 2/3, area, and voltage-plan tables
+//	pcs bist        BIST / fault-map characterisation demo
+//	pcs trace       record, replay and inspect workload traces
+//	pcs figures     render the paper figures as SVG
+//	pcs report      full reproduction as one Markdown report
+//	pcs serve       HTTP campaign job service
+//
+// The simulation-grid commands (sim, sweep, multicore) also accept
+// -spec file.json|file.toml, a declarative experiment document (see
+// internal/config); the same document can be POSTed to a pcs serve
+// instance at /campaigns. Any flag can be defaulted from the
+// environment as PCS_<FLAG> (e.g. PCS_WORKERS=8); explicit flags win.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	app := &cli.App{
+		Name:      "pcs",
+		Summary:   "Power/Capacity Scaling reproduction toolkit",
+		EnvPrefix: "PCS",
+	}
+	app.Register(
+		simCommand(),
+		sweepCommand(),
+		multicoreCommand(),
+		analyticalCommand(),
+		bistCommand(),
+		traceCommand(),
+		figuresCommand(),
+		reportCommand(),
+		serveCommand(),
+	)
+	os.Exit(app.Run(os.Args[1:]))
+}

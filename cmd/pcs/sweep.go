@@ -1,0 +1,221 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/cli"
+	"repro/internal/config"
+	"repro/internal/expers"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/runner"
+)
+
+// sweepCommand explores the design space around the paper's mechanism —
+// the old pcs-sweep binary as a subcommand. Studies always run in the
+// canonical order (assoc, levels, cells, leakage, dpcs, ablate)
+// whichever way they are selected, so output stays comparable across
+// invocations.
+func sweepCommand() *cli.Command {
+	var (
+		spec     string
+		study    = make(map[string]*bool, len(expers.StudyNames()))
+		bench    string
+		instr    uint64
+		seed     uint64
+		workers  int
+		jsonOut  bool
+		runsRoot string
+		progress bool
+		timeline bool
+	)
+	summaries := map[string]string{
+		"assoc":   "sweep associativity and block size vs min-VDD",
+		"levels":  "sweep the number of VDD levels",
+		"cells":   "compare 6T/8T/10T bit cells with and without PCS",
+		"leakage": "compare drowsy/decay/SPCS leakage techniques",
+		"dpcs":    "sweep DPCS policy parameters",
+		"ablate":  "run the DPCS policy ablation study",
+	}
+	return &cli.Command{
+		Name:    "sweep",
+		Summary: "run the design-space studies (min-VDD geometry, VDD levels, cells, leakage, DPCS policy, ablation)",
+		Usage:   "[-spec file] [-assoc] [-levels] [-cells] [-leakage] [-dpcs] [-ablate] [flags]",
+		SetFlags: func(fs *flag.FlagSet) {
+			fs.StringVar(&spec, "spec", "", "experiment spec file (.json or .toml) with a \"sweep\" section")
+			for _, name := range expers.StudyNames() {
+				study[name] = fs.Bool(name, false, summaries[name])
+			}
+			fs.StringVar(&bench, "bench", "bzip2.s", "benchmark for -dpcs")
+			fs.Uint64Var(&instr, "instr", 4_000_000, "instructions for -dpcs, -leakage and -ablate runs")
+			fs.Uint64Var(&seed, "seed", 1, "seed pinned into the simulation-backed studies")
+			fs.IntVar(&workers, "workers", 0, "campaign worker count (0 = GOMAXPROCS)")
+			fs.BoolVar(&jsonOut, "json", false, "emit tables as JSON instead of text")
+			fs.StringVar(&runsRoot, "runs", "", "archive campaign records under this directory (e.g. runs)")
+			fs.BoolVar(&progress, "progress", false, "log campaign progress to stderr")
+			fs.BoolVar(&timeline, "timeline", false, "with -runs: record per-job DPCS policy timelines (policy-<index>.jsonl)")
+		},
+		Run: func(fs *flag.FlagSet) error {
+			// Study selection: explicit flags beat the spec's list beats
+			// "all of them".
+			var selected []string
+			for _, name := range expers.StudyNames() {
+				if *study[name] {
+					selected = append(selected, name)
+				}
+			}
+			if spec != "" {
+				doc, err := config.Load(spec)
+				if err != nil {
+					return err
+				}
+				if doc.Sweep == nil {
+					return fmt.Errorf("%s: pcs sweep needs a \"sweep\" spec section", spec)
+				}
+				set := flagsSet(fs)
+				if len(selected) == 0 {
+					selected = doc.Sweep.Studies
+				}
+				if !set["bench"] {
+					bench = doc.Sweep.Bench
+				}
+				if !set["instr"] {
+					instr = doc.Sweep.SimInstr
+				}
+				if !set["seed"] {
+					seed = doc.Seed
+				}
+				if !set["workers"] && doc.Workers > 0 {
+					workers = doc.Workers
+				}
+			}
+			if len(selected) == 0 {
+				selected = expers.StudyNames()
+			}
+			if timeline && runsRoot == "" {
+				return fmt.Errorf("-timeline needs -runs (per-job timelines live next to the campaign records)")
+			}
+			h := &sweepHarness{
+				reg:      expers.NewCampaignRegistry(),
+				workers:  workers,
+				jsonOut:  jsonOut,
+				runsRoot: runsRoot,
+				progress: progress,
+				timeline: timeline,
+			}
+			// Canonical order regardless of selection order.
+			for _, name := range expers.StudyNames() {
+				if !contains(selected, name) {
+					continue
+				}
+				st, err := expers.StudyByName(name, bench, instr, seed)
+				if err != nil {
+					return err
+				}
+				results, err := h.runCampaign(st.Name, seed, st.Jobs)
+				if err != nil {
+					return err
+				}
+				t, err := st.Table(results)
+				if err != nil {
+					return err
+				}
+				if err := h.emit(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// sweepHarness bundles the options shared by every study's campaign.
+type sweepHarness struct {
+	reg      *runner.Registry
+	workers  int
+	jsonOut  bool
+	runsRoot string
+	progress bool
+	timeline bool
+}
+
+// emit renders a table in the selected output format.
+func (h *sweepHarness) emit(t *report.Table) error {
+	if h.jsonOut {
+		return t.RenderJSON(os.Stdout)
+	}
+	return t.Render(os.Stdout)
+}
+
+// runCampaign fans the jobs out across the worker pool and returns the
+// per-job results in job order, failing on any failed job.
+func (h *sweepHarness) runCampaign(name string, seed uint64, jobs []runner.Spec) ([]runner.JobResult, error) {
+	opts := runner.Options{Workers: h.workers}
+	if h.runsRoot != "" {
+		dir, err := runner.NewRunDir(filepath.Join(h.runsRoot, name))
+		if err != nil {
+			return nil, err
+		}
+		opts.ArtifactDir = dir
+	}
+	if h.progress {
+		opts.OnProgress = func(p runner.Progress) {
+			fmt.Fprintf(os.Stderr, "pcs sweep: %s: %d/%d done (%.1f jobs/s, ETA %s)\n",
+				name, p.Completed(), p.Total, p.JobsPerSec, p.ETA.Round(1e8))
+		}
+	}
+	// Per-job policy timelines: attach a JSONL sink to each job's
+	// context; the simulation kinds pick it up via
+	// obs.PolicySinkFromContext. Sinks are closed after the campaign so
+	// partial writes from a crashed run still flush what they can.
+	var (
+		sinkMu sync.Mutex
+		sinks  []*obs.JSONLSink
+	)
+	if h.timeline && opts.ArtifactDir != "" {
+		opts.JobContext = func(ctx context.Context, i int, _ runner.Spec) context.Context {
+			path := filepath.Join(opts.ArtifactDir, fmt.Sprintf("policy-%03d.jsonl", i))
+			sink, err := obs.CreateJSONL(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pcs sweep: %s: job %d timeline: %v\n", name, i, err)
+				return ctx
+			}
+			sinkMu.Lock()
+			sinks = append(sinks, sink)
+			sinkMu.Unlock()
+			return obs.ContextWithPolicySink(ctx, sink)
+		}
+	}
+	res, err := runner.Run(context.Background(), h.reg, runner.Campaign{Name: name, Seed: seed, Jobs: jobs}, opts)
+	for _, sink := range sinks {
+		if cerr := sink.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "pcs sweep: %s: close timeline: %v\n", name, cerr)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.Results {
+		if r.Status != runner.StatusDone {
+			return nil, fmt.Errorf("campaign %s: job %d (%s) %s: %s", name, r.Index, r.Name, r.Status, r.Error)
+		}
+	}
+	if res.ArtifactDir != "" {
+		fmt.Fprintf(os.Stderr, "pcs sweep: %s: records archived in %s\n", name, res.ArtifactDir)
+	}
+	return res.Results, nil
+}

@@ -1,81 +1,90 @@
-// Command pcs-trace records the synthetic SPEC-like workloads to the
-// compact binary trace format and replays recorded traces through the
-// simulator. Recording makes runs exchangeable and exactly repeatable
-// across library versions — the trace, not the generator, becomes the
-// ground truth.
-//
-// Usage:
-//
-//	pcs-trace -record -bench mcf.s -n 1000000 -o mcf.trc
-//	pcs-trace -replay mcf.trc [-config A|B] [-mode baseline|spcs|dpcs] [-warmup N]
-//	pcs-trace -info mcf.trc
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/cpusim"
 	"repro/internal/trace"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("pcs-trace: ")
+// traceCommand records the synthetic SPEC-like workloads to the compact
+// binary trace format and replays recorded traces through the simulator
+// — the old pcs-trace binary as a subcommand. Recording makes runs
+// exchangeable and exactly repeatable across library versions: the
+// trace, not the generator, becomes the ground truth.
+func traceCommand() *cli.Command {
 	var (
-		record = flag.Bool("record", false, "record a workload to a trace file")
-		replay = flag.String("replay", "", "trace file to replay through the simulator")
-		info   = flag.String("info", "", "trace file to summarise")
-		bench  = flag.String("bench", "hmmer.s", "workload to record")
-		n      = flag.Uint64("n", 1_000_000, "instructions to record")
-		out    = flag.String("o", "out.trc", "output trace path")
-		seed   = flag.Uint64("seed", 1, "generator seed for -record")
-		config = flag.String("config", "A", "system configuration for -replay")
-		mode   = flag.String("mode", "spcs", "policy for -replay: baseline, spcs or dpcs")
-		warmup = flag.Uint64("warmup", 100_000, "warm-up instructions for -replay")
+		record  bool
+		replay  string
+		info    string
+		bench   string
+		n       uint64
+		out     string
+		seed    uint64
+		cfgName string
+		mode    string
+		warmup  uint64
 	)
-	flag.Parse()
-
-	switch {
-	case *record:
-		doRecord(*bench, *n, *out, *seed)
-	case *replay != "":
-		doReplay(*replay, *config, *mode, *warmup, *seed)
-	case *info != "":
-		doInfo(*info)
-	default:
-		flag.Usage()
-		os.Exit(2)
+	return &cli.Command{
+		Name:    "trace",
+		Summary: "record, replay and inspect workload traces",
+		Usage:   "-record -bench mcf.s -n 1000000 -o mcf.trc | -replay mcf.trc [-mode dpcs] | -info mcf.trc",
+		SetFlags: func(fs *flag.FlagSet) {
+			fs.BoolVar(&record, "record", false, "record a workload to a trace file")
+			fs.StringVar(&replay, "replay", "", "trace file to replay through the simulator")
+			fs.StringVar(&info, "info", "", "trace file to summarise")
+			fs.StringVar(&bench, "bench", "hmmer.s", "workload to record")
+			fs.Uint64Var(&n, "n", 1_000_000, "instructions to record")
+			fs.StringVar(&out, "o", "out.trc", "output trace path")
+			fs.Uint64Var(&seed, "seed", 1, "generator seed for -record")
+			fs.StringVar(&cfgName, "config", "A", "system configuration for -replay")
+			fs.StringVar(&mode, "mode", "spcs", "policy for -replay: baseline, spcs or dpcs")
+			fs.Uint64Var(&warmup, "warmup", 100_000, "warm-up instructions for -replay")
+		},
+		Run: func(fs *flag.FlagSet) error {
+			switch {
+			case record:
+				return doRecord(bench, n, out, seed)
+			case replay != "":
+				return doReplay(replay, cfgName, mode, warmup, seed)
+			case info != "":
+				return doInfo(info)
+			default:
+				return fmt.Errorf("pick a mode: -record, -replay file or -info file")
+			}
+		},
 	}
 }
 
-func doRecord(bench string, n uint64, out string, seed uint64) {
+func doRecord(bench string, n uint64, out string, seed uint64) error {
 	w, ok := trace.ByName(bench)
 	if !ok {
-		log.Fatalf("unknown benchmark %q (known: %v)", bench, trace.Names())
+		return fmt.Errorf("unknown benchmark %q (known: %v)", bench, trace.Names())
 	}
 	g, err := trace.New(w, seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	f, err := os.Create(out)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
 	if err := trace.Record(g, n, f); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	st, err := f.Stat()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("recorded %d instructions of %s to %s (%.2f bytes/instr)\n",
 		n, bench, out, float64(st.Size())/float64(n))
+	return nil
 }
 
 func openReplay(path string) (*trace.ReplayGenerator, func(), error) {
@@ -106,20 +115,20 @@ func openReplay(path string) (*trace.ReplayGenerator, func(), error) {
 	return gen, closeAll, nil
 }
 
-func doReplay(path, config, modeName string, warmup, seed uint64) {
+func doReplay(path, config, modeName string, warmup, seed uint64) error {
 	gen, closeAll, err := openReplay(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer closeAll()
 
 	// Count the trace first so the measured window fits the recording.
 	total, err := countTrace(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if warmup >= total {
-		log.Fatalf("warm-up %d exceeds trace length %d", warmup, total)
+		return fmt.Errorf("warm-up %d exceeds trace length %d", warmup, total)
 	}
 
 	var cfg cpusim.SystemConfig
@@ -129,7 +138,7 @@ func doReplay(path, config, modeName string, warmup, seed uint64) {
 	case "B", "b":
 		cfg = cpusim.ConfigB()
 	default:
-		log.Fatalf("unknown config %q", config)
+		return fmt.Errorf("unknown config %q", config)
 	}
 	var m core.Mode
 	switch modeName {
@@ -140,30 +149,31 @@ func doReplay(path, config, modeName string, warmup, seed uint64) {
 	case "dpcs":
 		m = core.DPCS
 	default:
-		log.Fatalf("unknown mode %q", modeName)
+		return fmt.Errorf("unknown mode %q", modeName)
 	}
 
 	res, err := cpusim.RunGenerator(cfg, m, gen, cpusim.RunOptions{
 		WarmupInstr: warmup, SimInstr: total - warmup, Seed: seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := gen.Err(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Println(res)
+	return nil
 }
 
-func doInfo(path string) {
+func doInfo(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
 	r, err := trace.NewReader(f)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var ins trace.Instr
 	var total, mem, writes uint64
@@ -173,7 +183,7 @@ func doInfo(path string) {
 			if err == io.EOF {
 				break
 			}
-			log.Fatal(err)
+			return err
 		}
 		total++
 		if ins.HasMem {
@@ -192,6 +202,7 @@ func doInfo(path string) {
 	fmt.Printf("%s: %d instructions, %.1f%% memory ops (%.1f%% writes), data range [%#x, %#x]\n",
 		path, total, 100*float64(mem)/float64(total),
 		100*float64(writes)/float64(maxU(mem, 1)), minA, maxA)
+	return nil
 }
 
 func countTrace(path string) (uint64, error) {

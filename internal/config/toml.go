@@ -1,0 +1,436 @@
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// This file implements the TOML subset the spec layer accepts, parsed
+// into the same map shape JSON decodes to so one strict decoder serves
+// both formats. The subset covers what experiment specs need:
+//
+//   - comments (#), blank lines
+//   - [table] and [[array-of-tables]] headers with dotted keys
+//   - bare, "basic" and 'literal' keys, dotted key paths
+//   - values: basic/literal strings, integers (with _ separators),
+//     floats, booleans, single- and multi-line arrays
+//
+// Out of scope (rejected with a clear error): dates, multi-line
+// strings, inline tables, and exotic escapes. The repo has no external
+// dependencies, so this stays deliberately small rather than general.
+
+// parseTOML parses a spec document in the TOML subset into the
+// map/slice/scalar shape encoding/json produces.
+func parseTOML(data []byte) (map[string]any, error) {
+	p := &tomlParser{root: map[string]any{}}
+	p.current = p.root
+	lines := strings.Split(string(data), "\n")
+	for i := 0; i < len(lines); i++ {
+		line := strings.TrimSpace(stripComment(lines[i]))
+		if line == "" {
+			continue
+		}
+		var err error
+		switch {
+		case strings.HasPrefix(line, "[["):
+			err = p.openArrayTable(line)
+		case strings.HasPrefix(line, "["):
+			err = p.openTable(line)
+		default:
+			// A multi-line array continues until brackets balance.
+			for !balancedBrackets(line) && i+1 < len(lines) {
+				i++
+				line += " " + strings.TrimSpace(stripComment(lines[i]))
+			}
+			err = p.setKeyValue(line)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("toml line %d: %w", i+1, err)
+		}
+	}
+	return p.root, nil
+}
+
+type tomlParser struct {
+	root    map[string]any
+	current map[string]any
+}
+
+// stripComment removes a # comment, respecting quoted strings.
+func stripComment(line string) string {
+	inBasic, inLiteral := false, false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if !inLiteral && (i == 0 || line[i-1] != '\\') {
+				inBasic = !inBasic
+			}
+		case '\'':
+			if !inBasic {
+				inLiteral = !inLiteral
+			}
+		case '#':
+			if !inBasic && !inLiteral {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// balancedBrackets reports whether every array bracket opened on the
+// line is closed on it (quoted brackets ignored).
+func balancedBrackets(line string) bool {
+	depth := 0
+	inBasic, inLiteral := false, false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if !inLiteral && (i == 0 || line[i-1] != '\\') {
+				inBasic = !inBasic
+			}
+		case '\'':
+			if !inBasic {
+				inLiteral = !inLiteral
+			}
+		case '[':
+			if !inBasic && !inLiteral {
+				depth++
+			}
+		case ']':
+			if !inBasic && !inLiteral {
+				depth--
+			}
+		}
+	}
+	return depth <= 0
+}
+
+// openTable handles a [a.b.c] header: later key = value lines land in
+// that table, created on demand.
+func (p *tomlParser) openTable(line string) error {
+	if !strings.HasSuffix(line, "]") {
+		return fmt.Errorf("unterminated table header %q", line)
+	}
+	path, err := parseKeyPath(strings.TrimSuffix(strings.TrimPrefix(line, "["), "]"))
+	if err != nil {
+		return err
+	}
+	t, err := p.descend(path, false)
+	if err != nil {
+		return err
+	}
+	p.current = t
+	return nil
+}
+
+// openArrayTable handles a [[a.b]] header: appends a fresh table to the
+// array at that path and makes it current.
+func (p *tomlParser) openArrayTable(line string) error {
+	if !strings.HasSuffix(line, "]]") {
+		return fmt.Errorf("unterminated array-table header %q", line)
+	}
+	path, err := parseKeyPath(strings.TrimSuffix(strings.TrimPrefix(line, "[["), "]]"))
+	if err != nil {
+		return err
+	}
+	t, err := p.descend(path, true)
+	if err != nil {
+		return err
+	}
+	p.current = t
+	return nil
+}
+
+// descend walks a dotted path from the root, creating tables as needed.
+// Path elements that hold an array of tables resolve to the array's
+// last element; with appendLast, the final element appends a new table
+// to (possibly creating) an array at that key.
+func (p *tomlParser) descend(path []string, appendLast bool) (map[string]any, error) {
+	cur := p.root
+	for i, key := range path {
+		last := i == len(path)-1
+		if last && appendLast {
+			arr, _ := cur[key].([]any)
+			if cur[key] != nil && arr == nil {
+				return nil, fmt.Errorf("key %q is not an array of tables", key)
+			}
+			t := map[string]any{}
+			cur[key] = append(arr, any(t))
+			return t, nil
+		}
+		switch v := cur[key].(type) {
+		case nil:
+			t := map[string]any{}
+			cur[key] = t
+			cur = t
+		case map[string]any:
+			cur = v
+		case []any:
+			if len(v) == 0 {
+				return nil, fmt.Errorf("key %q is an empty array", key)
+			}
+			t, ok := v[len(v)-1].(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("key %q is not an array of tables", key)
+			}
+			cur = t
+		default:
+			return nil, fmt.Errorf("key %q already holds a value", key)
+		}
+	}
+	return cur, nil
+}
+
+// setKeyValue handles one key = value line relative to the current
+// table.
+func (p *tomlParser) setKeyValue(line string) error {
+	eq := findUnquoted(line, '=')
+	if eq < 0 {
+		return fmt.Errorf("expected key = value, got %q", line)
+	}
+	path, err := parseKeyPath(line[:eq])
+	if err != nil {
+		return err
+	}
+	val, err := parseValue(strings.TrimSpace(line[eq+1:]))
+	if err != nil {
+		return err
+	}
+	t := p.current
+	if len(path) > 1 {
+		if t, err = p.descendFrom(p.current, path[:len(path)-1]); err != nil {
+			return err
+		}
+	}
+	key := path[len(path)-1]
+	if _, dup := t[key]; dup {
+		return fmt.Errorf("duplicate key %q", key)
+	}
+	t[key] = val
+	return nil
+}
+
+// descendFrom walks a dotted key's intermediate tables below cur.
+func (p *tomlParser) descendFrom(cur map[string]any, path []string) (map[string]any, error) {
+	for _, key := range path {
+		switch v := cur[key].(type) {
+		case nil:
+			t := map[string]any{}
+			cur[key] = t
+			cur = t
+		case map[string]any:
+			cur = v
+		default:
+			return nil, fmt.Errorf("key %q already holds a value", key)
+		}
+	}
+	return cur, nil
+}
+
+// findUnquoted returns the index of the first ch outside quotes, or -1.
+func findUnquoted(s string, ch byte) int {
+	inBasic, inLiteral := false, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if !inLiteral && (i == 0 || s[i-1] != '\\') {
+				inBasic = !inBasic
+			}
+		case '\'':
+			if !inBasic {
+				inLiteral = !inLiteral
+			}
+		case ch:
+			if !inBasic && !inLiteral {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseKeyPath splits a dotted key ("campaign.jobs", 'a."b.c"') into
+// its elements.
+func parseKeyPath(s string) ([]string, error) {
+	var path []string
+	rest := strings.TrimSpace(s)
+	for {
+		if rest == "" {
+			return nil, fmt.Errorf("empty key in %q", s)
+		}
+		var key string
+		switch rest[0] {
+		case '"', '\'':
+			q := rest[0]
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == q && (q == '\'' || rest[i-1] != '\\') {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quoted key in %q", s)
+			}
+			var err error
+			if key, err = unquote(rest[:end+1]); err != nil {
+				return nil, err
+			}
+			rest = strings.TrimSpace(rest[end+1:])
+		default:
+			end := strings.IndexByte(rest, '.')
+			if end < 0 {
+				end = len(rest)
+			}
+			key = strings.TrimSpace(rest[:end])
+			for _, r := range key {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' && r != '-' {
+					return nil, fmt.Errorf("bad bare key %q", key)
+				}
+			}
+			if key == "" {
+				return nil, fmt.Errorf("empty key in %q", s)
+			}
+			rest = strings.TrimSpace(rest[end:])
+		}
+		path = append(path, key)
+		if rest == "" {
+			return path, nil
+		}
+		if rest[0] != '.' {
+			return nil, fmt.Errorf("expected '.' in key %q", s)
+		}
+		rest = strings.TrimSpace(rest[1:])
+	}
+}
+
+// parseValue parses one TOML value from its full text.
+func parseValue(s string) (any, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing value")
+	}
+	switch {
+	case s[0] == '"' || s[0] == '\'':
+		return unquote(s)
+	case s[0] == '[':
+		return parseArray(s)
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	}
+	// Numbers; TOML permits _ separators between digits.
+	num := strings.ReplaceAll(s, "_", "")
+	if i, err := strconv.ParseInt(num, 0, 64); err == nil {
+		return i, nil
+	}
+	if u, err := strconv.ParseUint(num, 0, 64); err == nil {
+		return u, nil
+	}
+	if f, err := strconv.ParseFloat(num, 64); err == nil {
+		return f, nil
+	}
+	return nil, fmt.Errorf("unsupported value %q (the spec subset takes strings, numbers, booleans and arrays)", s)
+}
+
+// parseArray parses a (possibly nested) array value like [1, 2, 3].
+func parseArray(s string) (any, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("unterminated array %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	out := []any{} // JSON-encodes as [], matching an empty TOML array
+	if inner == "" {
+		return out, nil
+	}
+	for _, part := range splitTopLevel(inner) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue // tolerate a trailing comma
+		}
+		v, err := parseValue(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// splitTopLevel splits on commas outside quotes and nested brackets.
+func splitTopLevel(s string) []string {
+	var parts []string
+	depth := 0
+	inBasic, inLiteral := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if !inLiteral && (i == 0 || s[i-1] != '\\') {
+				inBasic = !inBasic
+			}
+		case '\'':
+			if !inBasic {
+				inLiteral = !inLiteral
+			}
+		case '[':
+			if !inBasic && !inLiteral {
+				depth++
+			}
+		case ']':
+			if !inBasic && !inLiteral {
+				depth--
+			}
+		case ',':
+			if !inBasic && !inLiteral && depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// unquote decodes a basic ("...") or literal ('...') TOML string.
+func unquote(s string) (string, error) {
+	if len(s) < 2 {
+		return "", fmt.Errorf("bad string %q", s)
+	}
+	q, body := s[0], s[1:len(s)-1]
+	if s[len(s)-1] != q {
+		return "", fmt.Errorf("unterminated string %q", s)
+	}
+	if q == '\'' {
+		return body, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("dangling escape in %q", s)
+		}
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			return "", fmt.Errorf("unsupported escape \\%c in %q", body[i], s)
+		}
+	}
+	return b.String(), nil
+}

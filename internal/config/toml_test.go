@@ -1,0 +1,123 @@
+package config
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestParseTOMLShapes covers the accepted subset: scalars, arrays,
+// tables, array-of-tables, dotted keys, comments and multi-line arrays.
+func TestParseTOMLShapes(t *testing.T) {
+	src := `
+# experiment spec
+version = 1
+name = "fig4"          # inline comment
+seed = 1_000
+ratio = 0.5
+quick = false
+
+[sim]
+config = 'both'
+benches = ["mcf.s", "bzip2.s"]
+grid = [
+  1, 2,   # first row
+  3,
+]
+
+[meta.author]
+handle = "a#b"
+
+[[campaign.jobs]]
+kind = "minvdd"
+[campaign.jobs.params]
+ways = 4
+
+[[campaign.jobs]]
+kind = "cells"
+`
+	got, err := parseTOML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"version": int64(1),
+		"name":    "fig4",
+		"seed":    int64(1000),
+		"ratio":   0.5,
+		"quick":   false,
+		"sim": map[string]any{
+			"config":  "both",
+			"benches": []any{"mcf.s", "bzip2.s"},
+			"grid":    []any{int64(1), int64(2), int64(3)},
+		},
+		"meta": map[string]any{
+			"author": map[string]any{"handle": "a#b"},
+		},
+		"campaign": map[string]any{
+			"jobs": []any{
+				map[string]any{
+					"kind":   "minvdd",
+					"params": map[string]any{"ways": int64(4)},
+				},
+				map[string]any{"kind": "cells"},
+			},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		gj, _ := json.MarshalIndent(got, "", "  ")
+		wj, _ := json.MarshalIndent(want, "", "  ")
+		t.Fatalf("parse mismatch:\n--- got ---\n%s\n--- want ---\n%s", gj, wj)
+	}
+}
+
+// TestParseTOMLErrors checks malformed input fails with a line number.
+func TestParseTOMLErrors(t *testing.T) {
+	cases := []string{
+		"key",                      // no =
+		"key = ",                   // missing value
+		"key = 2026-08-05",         // dates are out of subset
+		"key = {a = 1}",            // inline tables are out of subset
+		"key = \"unterminated",     // bad string
+		"[table",                   // unterminated header
+		"key = 1\nkey = 2",         // duplicate key
+		"[t]\nx = 1\n[[t]]",        // table redefined as array
+		"key.\"bad = 1",            // unterminated quoted key
+		"key = \"\\q\"",            // unsupported escape
+		"k!ey = 1",                 // bad bare key
+		"[a]\nx = 1\n[a.x]\ny = 2", // value redefined as table
+	}
+	for _, src := range cases {
+		if v, err := parseTOML([]byte(src)); err == nil {
+			t.Errorf("accepted %q -> %v", src, v)
+		}
+	}
+}
+
+// TestTOMLDecodesSpec checks a realistic spec in TOML decodes to the
+// exact document its JSON twin does.
+func TestTOMLDecodesSpec(t *testing.T) {
+	tomlSrc := `
+version = 1
+name = "nightly"
+seed = 7
+
+[sweep]
+studies = ["assoc", "levels"]
+bench = "mcf.s"
+sim_instr = 2_000_000
+`
+	jsonSrc := `{"version":1,"name":"nightly","seed":7,
+		"sweep":{"studies":["assoc","levels"],"bench":"mcf.s","sim_instr":2000000}}`
+	dt, err := Decode([]byte(tomlSrc), TOML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := Decode([]byte(jsonSrc), JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dt, dj) {
+		t.Fatalf("toml %+v != json %+v", dt, dj)
+	}
+}

@@ -46,8 +46,6 @@ func AblationVariants() []struct {
 // study for the design choices DESIGN.md §6 documents.
 func Ablation(workloads []string, opts cpusim.RunOptions) ([]AblationRow, *report.Table, error) {
 	var rows []AblationRow
-	t := report.NewTable("DPCS policy ablation (Config A)",
-		"Variant", "Workload", "Energy saving %", "Exec overhead %", "L2 transitions")
 	for _, name := range workloads {
 		w, ok := trace.ByName(name)
 		if !ok {
@@ -72,11 +70,20 @@ func Ablation(workloads []string, opts cpusim.RunOptions) ([]AblationRow, *repor
 				L2Trans:   r.L2.Transitions,
 			}
 			rows = append(rows, row)
-			t.AddRow(v.Name, name,
-				fmt.Sprintf("%.1f", row.SavingPct),
-				fmt.Sprintf("%.2f", row.OverhdPct),
-				row.L2Trans)
 		}
 	}
-	return rows, t, nil
+	return rows, AblationTable(rows), nil
+}
+
+// AblationTable renders the ablation study from its rows.
+func AblationTable(rows []AblationRow) *report.Table {
+	t := report.NewTable("DPCS policy ablation (Config A)",
+		"Variant", "Workload", "Energy saving %", "Exec overhead %", "L2 transitions")
+	for _, row := range rows {
+		t.AddRow(row.Variant, row.Workload,
+			fmt.Sprintf("%.1f", row.SavingPct),
+			fmt.Sprintf("%.2f", row.OverhdPct),
+			row.L2Trans)
+	}
+	return t
 }

@@ -34,11 +34,17 @@ import (
 //	multicore  one multi-core simulation (MulticoreParams → MulticoreOutput)
 //	minvdd     analytical min-VDD for a cache geometry (MinVDDParams → MinVDDOutput)
 //	vddlevels  fault-map cost and SPCS power vs level count (VDDLevelsParams → VDDLevelsOutput)
+//	cells      bit-cell design comparison (CellsParams → []CellRow)
+//	leakage    leakage-technique comparison (LeakageParams → []LeakageRow)
+//	ablation   DPCS policy ablation study (AblationParams → []AblationRow)
 func RegisterCampaignKinds(reg *runner.Registry) {
 	reg.MustRegister("cpusim", runCPUSimJob)
 	reg.MustRegister("multicore", runMulticoreJob)
 	reg.MustRegister("minvdd", runMinVDDJob)
 	reg.MustRegister("vddlevels", runVDDLevelsJob)
+	reg.MustRegister("cells", runCellsJob)
+	reg.MustRegister("leakage", runLeakageJob)
+	reg.MustRegister("ablation", runAblationJob)
 }
 
 // NewCampaignRegistry returns a registry preloaded with the standard
@@ -90,6 +96,34 @@ type CPUSimParams struct {
 	LowThreshold  float64 `json:"low_threshold,omitempty"`
 }
 
+// ApplyDefaults fills the documented defaults: Config A, baseline mode.
+func (p *CPUSimParams) ApplyDefaults() {
+	if p.Config == "" {
+		p.Config = "A"
+	}
+	if p.Mode == "" {
+		p.Mode = "baseline"
+	}
+}
+
+// Validate checks the params are runnable (after ApplyDefaults): known
+// config, mode and benchmark, and a non-empty measured window.
+func (p *CPUSimParams) Validate() error {
+	if _, err := systemConfigByName(p.Config); err != nil {
+		return err
+	}
+	if _, err := modeByName(p.Mode); err != nil {
+		return err
+	}
+	if _, ok := trace.ByName(p.Bench); !ok {
+		return fmt.Errorf("expers: unknown benchmark %q (known: %v)", p.Bench, trace.Names())
+	}
+	if p.SimInstr == 0 {
+		return fmt.Errorf("expers: cpusim job needs sim_instr > 0")
+	}
+	return nil
+}
+
 // CPUSimOutput is the deterministic record of one "cpusim" job.
 type CPUSimOutput struct {
 	Workload          string  `json:"workload"`
@@ -110,18 +144,13 @@ func runCPUSimJob(ctx context.Context, seed uint64, params json.RawMessage) (any
 	if err := decodeParams(params, &p); err != nil {
 		return nil, err
 	}
-	cfg, err := systemConfigByName(p.Config)
-	if err != nil {
+	p.ApplyDefaults()
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	mode, err := modeByName(p.Mode)
-	if err != nil {
-		return nil, err
-	}
-	w, ok := trace.ByName(p.Bench)
-	if !ok {
-		return nil, fmt.Errorf("expers: unknown benchmark %q (known: %v)", p.Bench, trace.Names())
-	}
+	cfg, _ := systemConfigByName(p.Config)
+	mode, _ := modeByName(p.Mode)
+	w, _ := trace.ByName(p.Bench)
 	if p.L2Interval > 0 {
 		cfg.L2.Interval = p.L2Interval
 	}
@@ -142,9 +171,6 @@ func runCPUSimJob(ctx context.Context, seed uint64, params json.RawMessage) (any
 		// sink to the job context rather than to the parameter document,
 		// which must stay deterministic.
 		Sink: obs.PolicySinkFromContext(ctx),
-	}
-	if opts.SimInstr == 0 {
-		return nil, fmt.Errorf("expers: cpusim job needs sim_instr > 0")
 	}
 	r, err := cpusim.RunContext(ctx, cfg, mode, w, opts)
 	if err != nil {
@@ -181,6 +207,43 @@ type MulticoreParams struct {
 	Seed uint64 `json:"seed,omitempty"`
 }
 
+// ApplyDefaults fills the documented defaults: Config A, baseline mode,
+// a 20-cycle coherence penalty. Cores is required, not defaulted.
+func (p *MulticoreParams) ApplyDefaults() {
+	if p.Config == "" {
+		p.Config = "A"
+	}
+	if p.Mode == "" {
+		p.Mode = "baseline"
+	}
+	if p.CoherencePenaltyCycles == 0 {
+		p.CoherencePenaltyCycles = 20
+	}
+}
+
+// Validate checks the params are runnable (after ApplyDefaults).
+func (p *MulticoreParams) Validate() error {
+	if _, err := systemConfigByName(p.Config); err != nil {
+		return err
+	}
+	if _, err := modeByName(p.Mode); err != nil {
+		return err
+	}
+	if _, ok := trace.ByName(p.Bench); !ok {
+		return fmt.Errorf("expers: unknown benchmark %q (known: %v)", p.Bench, trace.Names())
+	}
+	if p.Cores < 1 {
+		return fmt.Errorf("expers: multicore job needs cores >= 1")
+	}
+	if p.InstrPerCore == 0 {
+		return fmt.Errorf("expers: multicore job needs instr_per_core > 0")
+	}
+	if p.SharedFrac < 0 || p.SharedFrac > 1 {
+		return fmt.Errorf("expers: shared_frac %v outside [0, 1]", p.SharedFrac)
+	}
+	return nil
+}
+
 // MulticoreOutput is the deterministic record of one "multicore" job.
 type MulticoreOutput struct {
 	Config                 string  `json:"config"`
@@ -200,30 +263,19 @@ func runMulticoreJob(ctx context.Context, seed uint64, params json.RawMessage) (
 	if err := decodeParams(params, &p); err != nil {
 		return nil, err
 	}
-	sysCfg, err := systemConfigByName(p.Config)
-	if err != nil {
+	p.ApplyDefaults()
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	mode, err := modeByName(p.Mode)
-	if err != nil {
-		return nil, err
-	}
-	w, ok := trace.ByName(p.Bench)
-	if !ok {
-		return nil, fmt.Errorf("expers: unknown benchmark %q (known: %v)", p.Bench, trace.Names())
-	}
-	if p.InstrPerCore == 0 {
-		return nil, fmt.Errorf("expers: multicore job needs instr_per_core > 0")
-	}
+	sysCfg, _ := systemConfigByName(p.Config)
+	mode, _ := modeByName(p.Mode)
+	w, _ := trace.ByName(p.Bench)
 	cfg := multicore.Config{
 		System:                 sysCfg,
 		Cores:                  p.Cores,
 		SharedBytes:            p.SharedBytes,
 		SharedFrac:             p.SharedFrac,
 		CoherencePenaltyCycles: p.CoherencePenaltyCycles,
-	}
-	if cfg.CoherencePenaltyCycles == 0 {
-		cfg.CoherencePenaltyCycles = 20
 	}
 	if p.Seed != 0 {
 		seed = p.Seed
@@ -257,6 +309,31 @@ type MinVDDParams struct {
 	VMax       float64 `json:"v_max"` // default 1.00
 }
 
+// ApplyDefaults fills the documented defaults: 99% yield over the
+// [0.30 V, 1.00 V] search window.
+func (p *MinVDDParams) ApplyDefaults() {
+	if p.Yield == 0 {
+		p.Yield = 0.99
+	}
+	if p.VMin == 0 {
+		p.VMin = 0.30
+	}
+	if p.VMax == 0 {
+		p.VMax = 1.00
+	}
+}
+
+// Validate checks the geometry is well-formed (after ApplyDefaults).
+func (p *MinVDDParams) Validate() error {
+	if p.Ways <= 0 || p.BlockBytes <= 0 || p.SizeBytes <= 0 {
+		return fmt.Errorf("expers: minvdd job needs positive size_bytes, ways, block_bytes")
+	}
+	if sets := p.SizeBytes / (p.BlockBytes * p.Ways); sets <= 0 {
+		return fmt.Errorf("expers: minvdd geometry %d B / (%d B × %d ways) has no sets", p.SizeBytes, p.BlockBytes, p.Ways)
+	}
+	return nil
+}
+
 // MinVDDOutput is the deterministic record of one "minvdd" job.
 type MinVDDOutput struct {
 	SizeBytes  int     `json:"size_bytes"`
@@ -273,24 +350,12 @@ func runMinVDDJob(ctx context.Context, _ uint64, params json.RawMessage) (any, e
 	if err := decodeParams(params, &p); err != nil {
 		return nil, err
 	}
-	if p.Yield == 0 {
-		p.Yield = 0.99
-	}
-	if p.VMin == 0 {
-		p.VMin = 0.30
-	}
-	if p.VMax == 0 {
-		p.VMax = 1.00
-	}
-	if p.Ways <= 0 || p.BlockBytes <= 0 || p.SizeBytes <= 0 {
-		return nil, fmt.Errorf("expers: minvdd job needs positive size_bytes, ways, block_bytes")
-	}
-	sets := p.SizeBytes / (p.BlockBytes * p.Ways)
-	if sets <= 0 {
-		return nil, fmt.Errorf("expers: minvdd geometry %d B / (%d B × %d ways) has no sets", p.SizeBytes, p.BlockBytes, p.Ways)
+	p.ApplyDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	m, err := faultmodel.New(faultmodel.Geometry{
-		Sets: sets, Ways: p.Ways, BlockBits: p.BlockBytes * 8,
+		Sets: p.SizeBytes / (p.BlockBytes * p.Ways), Ways: p.Ways, BlockBits: p.BlockBytes * 8,
 	}, sram.NewWangCalhounBER())
 	if err != nil {
 		return nil, err
@@ -327,8 +392,8 @@ func runVDDLevelsJob(ctx context.Context, _ uint64, params json.RawMessage) (any
 	if err := decodeParams(params, &p); err != nil {
 		return nil, err
 	}
-	if p.Levels < 1 {
-		return nil, fmt.Errorf("expers: vddlevels job needs levels >= 1")
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	cs, err := NewCacheSetup(L1ConfigA(), p.Levels)
 	if err != nil {
@@ -347,6 +412,154 @@ func runVDDLevelsJob(ctx context.Context, _ uint64, params json.RawMessage) (any
 		FMBitsPerBlock: cs.CMPCS.FMBitsPerBlock,
 		StaticPowerW:   pw.TotalW,
 	}, nil
+}
+
+// VDDLevelsParams has no optional fields; ApplyDefaults exists so every
+// campaign kind's parameter type satisfies the same defaulting shape.
+func (p *VDDLevelsParams) ApplyDefaults() {}
+
+// Validate checks the level count is usable.
+func (p *VDDLevelsParams) Validate() error {
+	if p.Levels < 1 {
+		return fmt.Errorf("expers: vddlevels job needs levels >= 1")
+	}
+	return nil
+}
+
+// CellsParams parameterise one "cells" job: the bit-cell design
+// comparison (Sec. 2). The study is fully determined by the analytical
+// models, so there are no knobs yet; the empty document is valid.
+type CellsParams struct{}
+
+// ApplyDefaults fills the documented defaults (none yet).
+func (p *CellsParams) ApplyDefaults() {}
+
+// Validate accepts the (knobless) document.
+func (p *CellsParams) Validate() error { return nil }
+
+func runCellsJob(ctx context.Context, _ uint64, params json.RawMessage) (any, error) {
+	var p CellsParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rows, _, err := CellComparison()
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// LeakageParams parameterise one "leakage" job: the drowsy/decay/SPCS
+// leakage-technique comparison on a short simulation window.
+type LeakageParams struct {
+	// SimInstr defaults to 4,000,000 (the historic pcs-sweep default).
+	SimInstr uint64 `json:"sim_instr,omitempty"`
+	// Seed pins the run when non-zero; zero uses the derived job seed.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// ApplyDefaults fills the documented defaults.
+func (p *LeakageParams) ApplyDefaults() {
+	if p.SimInstr == 0 {
+		p.SimInstr = 4_000_000
+	}
+}
+
+// Validate checks the window is non-empty (after ApplyDefaults).
+func (p *LeakageParams) Validate() error {
+	if p.SimInstr == 0 {
+		return fmt.Errorf("expers: leakage job needs sim_instr > 0")
+	}
+	return nil
+}
+
+func runLeakageJob(ctx context.Context, seed uint64, params json.RawMessage) (any, error) {
+	var p LeakageParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	p.ApplyDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Seed != 0 {
+		seed = p.Seed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rows, _, err := LeakageComparison(p.SimInstr, seed)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// AblationParams parameterise one "ablation" job: the DPCS damping
+// refinements disabled one at a time (DESIGN.md §6).
+type AblationParams struct {
+	// Benches defaults to the cache-friendly/capacity-cliff pair the
+	// paper-style study uses.
+	Benches []string `json:"benches,omitempty"`
+	// WarmupInstr defaults to SimInstr/4.
+	WarmupInstr uint64 `json:"warmup_instr,omitempty"`
+	// SimInstr defaults to 4,000,000.
+	SimInstr uint64 `json:"sim_instr,omitempty"`
+	// Seed pins the run when non-zero; zero uses the derived job seed.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// ApplyDefaults fills the documented defaults.
+func (p *AblationParams) ApplyDefaults() {
+	if len(p.Benches) == 0 {
+		p.Benches = []string{"hmmer.s", "sjeng.s"}
+	}
+	if p.SimInstr == 0 {
+		p.SimInstr = 4_000_000
+	}
+	if p.WarmupInstr == 0 {
+		p.WarmupInstr = p.SimInstr / 4
+	}
+}
+
+// Validate checks every benchmark is known and the window non-empty
+// (after ApplyDefaults).
+func (p *AblationParams) Validate() error {
+	for _, b := range p.Benches {
+		if _, ok := trace.ByName(b); !ok {
+			return fmt.Errorf("expers: unknown benchmark %q (known: %v)", b, trace.Names())
+		}
+	}
+	if p.SimInstr == 0 {
+		return fmt.Errorf("expers: ablation job needs sim_instr > 0")
+	}
+	return nil
+}
+
+func runAblationJob(ctx context.Context, seed uint64, params json.RawMessage) (any, error) {
+	var p AblationParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	p.ApplyDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Seed != 0 {
+		seed = p.Seed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	opts := cpusim.RunOptions{WarmupInstr: p.WarmupInstr, SimInstr: p.SimInstr, Seed: seed}
+	rows, _, err := Ablation(p.Benches, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // decodeParams strictly decodes a kind's parameter document, rejecting

@@ -29,8 +29,6 @@ func CellComparison() ([]CellRow, *report.Table, error) {
 	base := sram.NewWangCalhounBER()
 	geom := faultmodel.Geometry{Sets: 256, Ways: 4, BlockBits: 512}
 	var rows []CellRow
-	t := report.NewTable("Bit-cell designs vs PCS (L1 Config A, 99% yield)",
-		"Cell", "Area x", "Leak x", "MinVDD no-FT", "MinVDD +PCS", "SPCS VDD", "Rel. SPCS leak")
 	for _, ct := range []sram.CellType{sram.Cell6T, sram.Cell8T, sram.Cell10T} {
 		p := sram.Cells(ct)
 		ber := sram.ForCell(base, ct)
@@ -60,13 +58,22 @@ func CellComparison() ([]CellRow, *report.Table, error) {
 			row.StaticPowerAtSPCS = p.LeakageFactor * v * math.Pow(10, 1.5*(v-1.0))
 		}
 		rows = append(rows, row)
-		t.AddRow(ct.String(),
-			fmt.Sprintf("%.2f", p.AreaFactor),
-			fmt.Sprintf("%.2f", p.LeakageFactor),
+	}
+	return rows, CellTable(rows), nil
+}
+
+// CellTable renders the bit-cell comparison from its rows.
+func CellTable(rows []CellRow) *report.Table {
+	t := report.NewTable("Bit-cell designs vs PCS (L1 Config A, 99% yield)",
+		"Cell", "Area x", "Leak x", "MinVDD no-FT", "MinVDD +PCS", "SPCS VDD", "Rel. SPCS leak")
+	for _, row := range rows {
+		t.AddRow(row.Cell.String(),
+			fmt.Sprintf("%.2f", row.AreaFactor),
+			fmt.Sprintf("%.2f", row.LeakFactor),
 			fmtV(row.MinVDDNoFT), fmtV(row.MinVDDWithPCS), fmtV(row.SPCSVoltage),
 			fmt.Sprintf("%.3f", row.StaticPowerAtSPCS))
 	}
-	return rows, t, nil
+	return t
 }
 
 func fmtV(v float64) string {

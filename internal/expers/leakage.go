@@ -136,6 +136,11 @@ func LeakageComparison(instructions uint64, seed uint64) ([]LeakageRow, *report.
 	add(fmt.Sprintf("SPCS @%.2fV (this paper)", v2),
 		float64(spcsCycles)*active, leakAtV2, spcsCycles, false, true)
 
+	return rows, LeakageTable(rows), nil
+}
+
+// LeakageTable renders the leakage-technique comparison from its rows.
+func LeakageTable(rows []LeakageRow) *report.Table {
 	t := report.NewTable("Leakage-reduction techniques on one L1 workload (data-array leakage, relative)",
 		"Technique", "Leakage energy", "Exec overhead %", "Loses state?", "Fault-tolerant?")
 	for _, r := range rows {
@@ -144,5 +149,5 @@ func LeakageComparison(instructions uint64, seed uint64) ([]LeakageRow, *report.
 			fmt.Sprintf("%+.2f", r.ExtraCyclesPct),
 			r.LosesState, r.ToleratesFault)
 	}
-	return rows, t, nil
+	return t
 }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -26,6 +28,13 @@ import (
 //	GET    /campaigns/{id}/events   NDJSON stream of job lifecycle events
 //	DELETE /campaigns/{id}          cancel a running campaign
 //	GET    /metrics                 Prometheus text exposition
+//	GET    /healthz                 liveness probe
+//	GET    /readyz                  drain-aware readiness probe
+//
+// POST /campaigns accepts two body shapes: the raw submitRequest job
+// list, and — when ServerOptions.SpecExpander is installed — the same
+// declarative experiment-spec document the pcs CLI consumes (JSON or
+// TOML, distinguished by the top-level "version" key).
 //
 // Campaigns execute asynchronously on the server's worker pools; status
 // and partial results are available while a campaign runs. All state is
@@ -39,10 +48,17 @@ type Server struct {
 	// artifactRoot, when non-empty, gives every campaign a run
 	// directory under <artifactRoot>/<id>/.
 	artifactRoot string
+	// specExpander lowers a declarative experiment spec (the document
+	// the pcs CLI consumes) to a campaign; see ServerOptions.
+	specExpander func(raw []byte) (Campaign, int, error)
 
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
+	// draining flips once BeginDrain is called; /readyz reports 503 so
+	// load balancers stop routing new submissions while in-flight
+	// requests finish.
+	draining atomic.Bool
 
 	log     *slog.Logger
 	metrics *serverMetrics
@@ -64,6 +80,15 @@ type ServerOptions struct {
 	// Logger, when non-nil, receives structured operational logs
 	// (submissions, completions, response-write failures). Nil discards.
 	Logger *slog.Logger
+	// SpecExpander, when non-nil, lets POST /campaigns accept the
+	// declarative experiment-spec documents the pcs CLI consumes (the
+	// internal/config layer): a body that carries a top-level "version"
+	// key — or is not a JSON object at all (a TOML spec) — is expanded
+	// to its campaign through this hook. The returned worker count is
+	// the document's requested pool size (0 = server default). The hook
+	// is injected rather than imported because internal/config depends
+	// on this package.
+	SpecExpander func(raw []byte) (Campaign, int, error)
 }
 
 // serverMetrics wires the server's obs.Registry families. Counters are
@@ -151,6 +176,7 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 		reg:            reg,
 		defaultWorkers: opts.DefaultWorkers,
 		artifactRoot:   opts.ArtifactRoot,
+		specExpander:   opts.SpecExpander,
 		baseCtx:        ctx,
 		stop:           cancel,
 		log:            log,
@@ -160,10 +186,26 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	}
 }
 
+// BeginDrain flips the readiness probe to 503 without cancelling
+// anything: the serve loop calls it when a shutdown signal arrives, so
+// orchestrators stop routing traffic while in-flight requests and the
+// HTTP listener's graceful shutdown complete. Close still does the
+// actual teardown.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+}
+
+// Draining reports whether BeginDrain has been called (or the server
+// context is already gone).
+func (s *Server) Draining() bool {
+	return s.draining.Load() || s.baseCtx.Err() != nil
+}
+
 // Close cancels every running campaign and waits for their workers to
 // drain; it is the graceful-shutdown half pcs-server calls after the
 // HTTP listener stops accepting requests.
 func (s *Server) Close() {
+	s.draining.Store(true)
 	s.stop()
 	s.wg.Wait()
 }
@@ -178,7 +220,30 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSONResponse(w, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+// handleReadyz is the drain-aware readiness probe: 200 while accepting
+// new campaigns, 503 once draining so load balancers stop routing here
+// before the listener actually closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	s.writeJSONResponse(w, map[string]string{"status": "ready"})
 }
 
 // submitRequest is the POST /campaigns body.
@@ -189,50 +254,81 @@ type submitRequest struct {
 	Jobs    []Spec `json:"jobs"`
 }
 
+// isSpecDocument reports whether a POST /campaigns body is a
+// declarative experiment spec rather than a legacy submitRequest: any
+// non-JSON-object body (a TOML spec), or a JSON object carrying the
+// spec schema's top-level "version" key.
+func isSpecDocument(body []byte) bool {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) == 0 || trimmed[0] != '{' {
+		return true
+	}
+	var probe struct {
+		Version int `json:"version"`
+	}
+	return json.Unmarshal(body, &probe) == nil && probe.Version != 0
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req submitRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad campaign body: %v", err)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read campaign body: %v", err)
 		return
 	}
-	if len(req.Jobs) == 0 {
+	var camp Campaign
+	var workers int
+	if s.specExpander != nil && isSpecDocument(body) {
+		camp, workers, err = s.specExpander(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad spec: %v", err)
+			return
+		}
+	} else {
+		var req submitRequest
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad campaign body: %v", err)
+			return
+		}
+		camp = Campaign{Name: req.Name, Seed: req.Seed, Jobs: req.Jobs}
+		workers = req.Workers
+	}
+	if len(camp.Jobs) == 0 {
 		httpError(w, http.StatusBadRequest, "campaign has no jobs")
 		return
 	}
-	for i, spec := range req.Jobs {
+	for i, spec := range camp.Jobs {
 		if _, ok := s.reg.Lookup(spec.Kind); !ok {
 			httpError(w, http.StatusBadRequest, "job %d: unknown kind %q (registered: %v)",
 				i, spec.Kind, s.reg.Kinds())
 			return
 		}
 	}
-	if s.baseCtx.Err() != nil {
+	if s.Draining() {
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
 
 	// Resolve the pool size now, mirroring Run, so status and metrics
 	// report the actual worker count rather than the raw option.
-	workers := req.Workers
 	if workers <= 0 {
 		workers = s.defaultWorkers
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(req.Jobs) {
-		workers = len(req.Jobs)
+	if workers > len(camp.Jobs) {
+		workers = len(camp.Jobs)
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	cs := &campaignState{
-		campaign: Campaign{Name: req.Name, Seed: req.Seed, Jobs: req.Jobs},
+		campaign: camp,
 		workers:  workers,
 		cancel:   cancel,
 		state:    "running",
-		progress: Progress{Total: len(req.Jobs)},
-		results:  make([]*JobResult, len(req.Jobs)),
+		progress: Progress{Total: len(camp.Jobs)},
+		results:  make([]*JobResult, len(camp.Jobs)),
 		started:  time.Now(),
 	}
 
@@ -245,7 +341,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.campaignsTotal.Inc()
 	s.log.Info("campaign submitted",
-		"id", cs.id, "name", req.Name, "jobs", len(req.Jobs), "workers", workers)
+		"id", cs.id, "name", camp.Name, "jobs", len(camp.Jobs), "workers", workers)
 
 	s.wg.Add(1)
 	go s.execute(ctx, cs)
@@ -254,7 +350,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(map[string]any{
 		"id":          cs.id,
-		"jobs":        len(req.Jobs),
+		"jobs":        len(camp.Jobs),
 		"status_url":  "/campaigns/" + cs.id,
 		"results_url": "/campaigns/" + cs.id + "/results",
 	})
