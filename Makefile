@@ -5,13 +5,21 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench fig4 sweep figures clean
+# Build identity, stamped into the binary (see internal/version): it is
+# what `pcs version` prints, what run ledgers record, and the
+# code-version component of result-store cache keys — so caches built by
+# different builds never alias. A plain `go build` (no stamp) falls back
+# to the embedded VCS revision.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null)
+LDFLAGS = -X repro/internal/version.Version=$(VERSION)
+
+.PHONY: all build vet test race check bench fig4 sweep goldens figures clean
 
 all: check
 
 # The whole toolkit is one binary; `./pcs help` lists the subcommands.
 build:
-	$(GO) build -o pcs ./cmd/pcs
+	$(GO) build -ldflags "$(LDFLAGS)" -o pcs ./cmd/pcs
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +50,12 @@ fig4:
 
 sweep:
 	$(GO) run ./cmd/pcs sweep -spec examples/sweep.json
+
+# Golden-reproduction gate: regenerates fig4/sweep into a temp dir and
+# compares byte for byte, then proves a warm cached re-run serves every
+# cell from the result store with identical output. CI runs this.
+goldens:
+	sh scripts/goldens.sh
 
 figures:
 	$(GO) run ./cmd/pcs figures

@@ -11,18 +11,28 @@
 //	pcs figures     render the paper figures as SVG
 //	pcs report      full reproduction as one Markdown report
 //	pcs serve       HTTP campaign job service
+//	pcs verify      check a run directory's hash-chained ledger
+//	pcs cache       inspect or prune the content-addressed result store
+//	pcs version     print the build version
 //
 // The simulation-grid commands (sim, sweep, multicore) also accept
 // -spec file.json|file.toml, a declarative experiment document (see
 // internal/config); the same document can be POSTed to a pcs serve
 // instance at /campaigns. Any flag can be defaulted from the
 // environment as PCS_<FLAG> (e.g. PCS_WORKERS=8); explicit flags win.
+//
+// The campaign commands also accept -cache DIR (env PCS_CACHE): a
+// content-addressed result store that memoizes experiment cells, so a
+// re-run of an already-computed campaign is served from cache while
+// still producing byte-identical result files (see internal/resultstore
+// and DESIGN.md).
 package main
 
 import (
 	"os"
 
 	"repro/internal/cli"
+	"repro/internal/version"
 )
 
 func main() {
@@ -30,6 +40,7 @@ func main() {
 		Name:      "pcs",
 		Summary:   "Power/Capacity Scaling reproduction toolkit",
 		EnvPrefix: "PCS",
+		Version:   version.String(),
 	}
 	app.Register(
 		simCommand(),
@@ -41,6 +52,8 @@ func main() {
 		figuresCommand(),
 		reportCommand(),
 		serveCommand(),
+		verifyCommand(),
+		cacheCommand(),
 	)
 	os.Exit(app.Run(os.Args[1:]))
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/trace"
+	"repro/internal/version"
 )
 
 // multicoreCommand runs the multi-core extension (the paper's Sec. 5
@@ -37,6 +38,7 @@ func multicoreCommand() *cli.Command {
 		jsonOut   bool
 		runsRoot  string
 		progress  bool
+		cacheDir  string
 	)
 	return &cli.Command{
 		Name:    "multicore",
@@ -55,6 +57,7 @@ func multicoreCommand() *cli.Command {
 			fs.BoolVar(&jsonOut, "json", false, "emit the table as JSON instead of text")
 			fs.StringVar(&runsRoot, "runs", "", "archive campaign records under this directory (e.g. runs)")
 			fs.BoolVar(&progress, "progress", false, "log campaign progress to stderr")
+			fs.StringVar(&cacheDir, "cache", "", "content-addressed result cache directory (memoizes grid cells across runs)")
 		},
 		Run: func(fs *flag.FlagSet) error {
 			set := flagsSet(fs)
@@ -116,7 +119,11 @@ func multicoreCommand() *cli.Command {
 				return err
 			}
 
-			opts := runner.Options{Workers: workers}
+			cache, err := openCache(cacheDir)
+			if err != nil {
+				return err
+			}
+			opts := runner.Options{Workers: workers, Cache: cache, CodeVersion: version.String()}
 			if runsRoot != "" {
 				dir, err := runner.NewRunDir(filepath.Join(runsRoot, "multicore"))
 				if err != nil {
@@ -142,6 +149,8 @@ func multicoreCommand() *cli.Command {
 			if res.ArtifactDir != "" {
 				fmt.Fprintf(os.Stderr, "pcs multicore: records archived in %s\n", res.ArtifactDir)
 			}
+			fmt.Fprintf(os.Stderr, "pcs multicore: %d cells: %d cached, %d computed, %d failed\n",
+				len(res.Results), res.Cached, res.Done-res.Cached, res.Failed)
 
 			w, _ := trace.ByName(ms.Bench)
 			cfgName := strings.ToUpper(ms.Config)

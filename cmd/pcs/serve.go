@@ -17,6 +17,7 @@ import (
 	"repro/internal/expers"
 	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/version"
 )
 
 // serveCommand exposes the campaign runner (internal/runner) as an HTTP
@@ -50,6 +51,7 @@ func serveCommand() *cli.Command {
 		grace     time.Duration
 		withPprof bool
 		logJSON   bool
+		cacheDir  string
 	)
 	return &cli.Command{
 		Name:    "serve",
@@ -62,6 +64,7 @@ func serveCommand() *cli.Command {
 			fs.DurationVar(&grace, "grace", 10*time.Second, "shutdown grace period for in-flight requests")
 			fs.BoolVar(&withPprof, "pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 			fs.BoolVar(&logJSON, "log-json", false, "emit JSON log lines instead of key=value text")
+			fs.StringVar(&cacheDir, "cache", "", "content-addressed result cache directory shared by all campaigns (adds resultstore_* metrics)")
 		},
 		Run: func(fs *flag.FlagSet) error {
 			var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -70,11 +73,17 @@ func serveCommand() *cli.Command {
 			}
 			logger := slog.New(handler)
 
+			cache, err := openCache(cacheDir)
+			if err != nil {
+				return err
+			}
 			srv := runner.NewServer(expers.NewCampaignRegistry(), runner.ServerOptions{
 				DefaultWorkers: workers,
 				ArtifactRoot:   runsRoot,
 				Logger:         logger,
 				SpecExpander:   config.ExpandBytes,
+				Cache:          cache,
+				CodeVersion:    version.String(),
 			})
 
 			mux := http.NewServeMux()

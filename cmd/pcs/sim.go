@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/trace"
+	"repro/internal/version"
 )
 
 // simCommand is the Fig. 4 architectural simulation: the 16 SPEC-like
@@ -34,6 +35,7 @@ func simCommand() *cli.Command {
 		quiet    bool
 		timeline string
 		workers  int
+		cacheDir string
 	)
 	return &cli.Command{
 		Name:    "sim",
@@ -51,6 +53,7 @@ func simCommand() *cli.Command {
 			fs.BoolVar(&quiet, "q", false, "suppress per-run progress lines")
 			fs.StringVar(&timeline, "timeline", "", "with -bench: write the DPCS policy timeline to this JSONL file")
 			fs.IntVar(&workers, "workers", runtime.GOMAXPROCS(0), "parallel simulations for the full grid (results are identical at any worker count)")
+			fs.StringVar(&cacheDir, "cache", "", "content-addressed result cache directory (memoizes grid cells across runs)")
 		},
 		Run: func(fs *flag.FlagSet) error {
 			if configs {
@@ -107,7 +110,12 @@ func simCommand() *cli.Command {
 			if timeline != "" && bench == "" {
 				return fmt.Errorf("-timeline needs -bench (it records one DPCS run)")
 			}
+			cache, err := openCache(cacheDir)
+			if err != nil {
+				return err
+			}
 
+			var total expers.GridStats
 			for _, cfg := range cfgs {
 				if bench != "" {
 					if err := runSingle(cfg, bench, opts, timeline); err != nil {
@@ -119,7 +127,16 @@ func simCommand() *cli.Command {
 					fmt.Fprintf(progress, "config %s: %d benchmarks x 3 modes, %d instr each, %d workers\n",
 						cfg.Name, len(trace.Suite()), opts.SimInstr, workers)
 				}
-				data, err := expers.Fig4Parallel(context.Background(), cfg, opts, workers, progress)
+				data, stats, err := expers.Fig4Grid(context.Background(), cfg, opts, expers.GridOptions{
+					Workers:     workers,
+					Progress:    progress,
+					Cache:       cache,
+					CodeVersion: version.String(),
+				})
+				total.Cells += stats.Cells
+				total.Cached += stats.Cached
+				total.Computed += stats.Computed
+				total.Failed += stats.Failed
 				if err != nil {
 					return err
 				}
@@ -134,6 +151,12 @@ func simCommand() *cli.Command {
 						return err
 					}
 				}
+			}
+			if bench == "" {
+				// Summary goes to stderr: stdout carries only the tables,
+				// which golden files compare byte for byte.
+				fmt.Fprintf(os.Stderr, "pcs sim: %d cells: %d cached, %d computed, %d failed\n",
+					total.Cells, total.Cached, total.Computed, total.Failed)
 			}
 			return nil
 		},

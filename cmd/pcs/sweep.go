@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/version"
 )
 
 // sweepCommand explores the design space around the paper's mechanism —
@@ -33,6 +34,7 @@ func sweepCommand() *cli.Command {
 		runsRoot string
 		progress bool
 		timeline bool
+		cacheDir string
 	)
 	summaries := map[string]string{
 		"assoc":   "sweep associativity and block size vs min-VDD",
@@ -59,6 +61,7 @@ func sweepCommand() *cli.Command {
 			fs.StringVar(&runsRoot, "runs", "", "archive campaign records under this directory (e.g. runs)")
 			fs.BoolVar(&progress, "progress", false, "log campaign progress to stderr")
 			fs.BoolVar(&timeline, "timeline", false, "with -runs: record per-job DPCS policy timelines (policy-<index>.jsonl)")
+			fs.StringVar(&cacheDir, "cache", "", "content-addressed result cache directory (memoizes study cells across runs)")
 		},
 		Run: func(fs *flag.FlagSet) error {
 			// Study selection: explicit flags beat the spec's list beats
@@ -100,6 +103,10 @@ func sweepCommand() *cli.Command {
 			if timeline && runsRoot == "" {
 				return fmt.Errorf("-timeline needs -runs (per-job timelines live next to the campaign records)")
 			}
+			cache, err := openCache(cacheDir)
+			if err != nil {
+				return err
+			}
 			h := &sweepHarness{
 				reg:      expers.NewCampaignRegistry(),
 				workers:  workers,
@@ -107,6 +114,7 @@ func sweepCommand() *cli.Command {
 				runsRoot: runsRoot,
 				progress: progress,
 				timeline: timeline,
+				cache:    cache,
 			}
 			// Canonical order regardless of selection order.
 			for _, name := range expers.StudyNames() {
@@ -129,6 +137,8 @@ func sweepCommand() *cli.Command {
 					return err
 				}
 			}
+			fmt.Fprintf(os.Stderr, "pcs sweep: %d cells: %d cached, %d computed, %d failed\n",
+				h.cells, h.cached, h.computed, h.failed)
 			return nil
 		},
 	}
@@ -143,7 +153,8 @@ func contains(xs []string, want string) bool {
 	return false
 }
 
-// sweepHarness bundles the options shared by every study's campaign.
+// sweepHarness bundles the options shared by every study's campaign,
+// and accumulates the cell accounting for the end-of-run summary.
 type sweepHarness struct {
 	reg      *runner.Registry
 	workers  int
@@ -151,6 +162,9 @@ type sweepHarness struct {
 	runsRoot string
 	progress bool
 	timeline bool
+	cache    runner.ResultCache
+
+	cells, cached, computed, failed int
 }
 
 // emit renders a table in the selected output format.
@@ -164,7 +178,7 @@ func (h *sweepHarness) emit(t *report.Table) error {
 // runCampaign fans the jobs out across the worker pool and returns the
 // per-job results in job order, failing on any failed job.
 func (h *sweepHarness) runCampaign(name string, seed uint64, jobs []runner.Spec) ([]runner.JobResult, error) {
-	opts := runner.Options{Workers: h.workers}
+	opts := runner.Options{Workers: h.workers, Cache: h.cache, CodeVersion: version.String()}
 	if h.runsRoot != "" {
 		dir, err := runner.NewRunDir(filepath.Join(h.runsRoot, name))
 		if err != nil {
@@ -209,6 +223,10 @@ func (h *sweepHarness) runCampaign(name string, seed uint64, jobs []runner.Spec)
 	if err != nil {
 		return nil, err
 	}
+	h.cells += len(res.Results)
+	h.cached += res.Cached
+	h.computed += res.Done - res.Cached
+	h.failed += res.Failed
 	for _, r := range res.Results {
 		if r.Status != runner.StatusDone {
 			return nil, fmt.Errorf("campaign %s: job %d (%s) %s: %s", name, r.Index, r.Name, r.Status, r.Error)

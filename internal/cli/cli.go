@@ -48,6 +48,9 @@ type App struct {
 	// EnvPrefix enables <EnvPrefix>_<FLAG> environment defaults when
 	// non-empty.
 	EnvPrefix string
+	// Version, when non-empty, enables the built-in "version"
+	// subcommand (and "-version"/"--version"), which prints it.
+	Version string
 	// Output receives usage and error text; nil means os.Stderr.
 	Output io.Writer
 
@@ -93,6 +96,19 @@ func (a *App) Run(argv []string) int {
 		return 2
 	}
 	switch argv[0] {
+	case "version", "-version", "--version":
+		if a.Version != "" {
+			if _, explicit := a.Lookup("version"); !explicit {
+				// Version is the one output users pipe and compare, so it
+				// goes to stdout unless the app redirected all output.
+				out := io.Writer(os.Stdout)
+				if a.Output != nil {
+					out = a.Output
+				}
+				fmt.Fprintf(out, "%s version %s\n", a.Name, a.Version)
+				return 0
+			}
+		}
 	case "help", "-h", "-help", "--help":
 		if len(argv) > 1 {
 			if c, ok := a.Lookup(argv[1]); ok {
@@ -180,6 +196,9 @@ func (a *App) usage(w io.Writer) {
 		fmt.Fprintf(w, "\t%-*s  %s\n", width, c.Name, c.Summary)
 	}
 	fmt.Fprintf(w, "\nRun \"%s help <command>\" for a command's flags.\n", a.Name)
+	if a.Version != "" {
+		fmt.Fprintf(w, "Run \"%s version\" to print the build version (%s).\n", a.Name, a.Version)
+	}
 	if a.EnvPrefix != "" {
 		fmt.Fprintf(w, "Any flag can be defaulted from the environment as %s_<FLAG> (e.g. %s).\n",
 			a.EnvPrefix, a.EnvVar("workers"))

@@ -358,6 +358,7 @@ var kindParams = map[string]func() defaulter{
 	"cells":     func() defaulter { return new(expers.CellsParams) },
 	"leakage":   func() defaulter { return new(expers.LeakageParams) },
 	"ablation":  func() defaulter { return new(expers.AblationParams) },
+	"fig4-cell": func() defaulter { return new(expers.Fig4CellParams) },
 }
 
 // KnownKinds returns the campaign kinds the spec layer validates

@@ -389,3 +389,36 @@ func TestLoadDispatchesOnExtension(t *testing.T) {
 		t.Error("accepted .yaml")
 	}
 }
+
+// TestDigestCanonical checks the spec digest ignores formatting and
+// source-format differences but tracks semantic ones.
+func TestDigestCanonical(t *testing.T) {
+	a, err := Decode([]byte(`{"version":1,"seed":7,"sim":{"config":"A","bench":"mcf.s","sim_instr":5000}}`), JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode([]byte(`{"sim":{"sim_instr":5000,"bench":"mcf.s","config":"A"},"seed":7,"version":1}`), JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := a.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da != db {
+		t.Errorf("reordered spec digests differ: %s vs %s", da, db)
+	}
+	c := *a
+	c.Seed = 8
+	dc, err := c.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc == da {
+		t.Error("seed change did not change digest")
+	}
+}

@@ -37,14 +37,39 @@ import (
 //	cells      bit-cell design comparison (CellsParams → []CellRow)
 //	leakage    leakage-technique comparison (LeakageParams → []LeakageRow)
 //	ablation   DPCS policy ablation study (AblationParams → []AblationRow)
+//	fig4-cell  one workload×mode cell of the Fig. 4 grid with its full
+//	           SystemConfig embedded (Fig4CellParams → cpusim.Result)
+//
+// Every kind carries cache metadata (runner.KindInfo): the decoder
+// reconstructs the kind's concrete output type from a stored result
+// document, so content-addressed cache hits are indistinguishable from
+// computed results to downstream type assertions; Seeded marks the
+// kinds whose output actually depends on the seed, so the analytical
+// kinds share cache entries across campaigns with different master
+// seeds.
 func RegisterCampaignKinds(reg *runner.Registry) {
-	reg.MustRegister("cpusim", runCPUSimJob)
-	reg.MustRegister("multicore", runMulticoreJob)
-	reg.MustRegister("minvdd", runMinVDDJob)
-	reg.MustRegister("vddlevels", runVDDLevelsJob)
-	reg.MustRegister("cells", runCellsJob)
-	reg.MustRegister("leakage", runLeakageJob)
-	reg.MustRegister("ablation", runAblationJob)
+	reg.MustRegisterKind("cpusim", runCPUSimJob, kindInfo[CPUSimOutput](true))
+	reg.MustRegisterKind("multicore", runMulticoreJob, kindInfo[MulticoreOutput](true))
+	reg.MustRegisterKind("minvdd", runMinVDDJob, kindInfo[MinVDDOutput](false))
+	reg.MustRegisterKind("vddlevels", runVDDLevelsJob, kindInfo[VDDLevelsOutput](false))
+	reg.MustRegisterKind("cells", runCellsJob, kindInfo[[]CellRow](false))
+	reg.MustRegisterKind("leakage", runLeakageJob, kindInfo[[]LeakageRow](true))
+	reg.MustRegisterKind("ablation", runAblationJob, kindInfo[[]AblationRow](true))
+	reg.MustRegisterKind("fig4-cell", runFig4CellJob, kindInfo[cpusim.Result](true))
+}
+
+// kindInfo builds the cache metadata for a kind returning T.
+func kindInfo[T any](seeded bool) runner.KindInfo {
+	return runner.KindInfo{
+		Seeded: seeded,
+		DecodeOutput: func(data []byte) (any, error) {
+			var out T
+			if err := json.Unmarshal(data, &out); err != nil {
+				return nil, fmt.Errorf("expers: decode cached output: %w", err)
+			}
+			return out, nil
+		},
+	}
 }
 
 // NewCampaignRegistry returns a registry preloaded with the standard

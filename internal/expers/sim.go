@@ -82,82 +82,156 @@ func Fig4(cfg cpusim.SystemConfig, opts cpusim.RunOptions, progress io.Writer) (
 	return data, nil
 }
 
-// Fig4Parallel runs the same workload×mode grid as Fig4, but fanned out
-// over the internal/runner worker pool (workers ≤ 0 uses GOMAXPROCS).
-// Every cell is an independent simulation pinned to opts.Seed, exactly
-// as the serial loop runs it — cpusim's concurrency contract permits one
-// System per goroutine — so the assembled Fig4Data is byte-identical to
-// Fig4's regardless of worker count or completion order; only wall-clock
-// time changes. Progress lines (one per finished run, in completion
-// order) go to progress when non-nil.
-func Fig4Parallel(ctx context.Context, cfg cpusim.SystemConfig, opts cpusim.RunOptions, workers int, progress io.Writer) (Fig4Data, error) {
-	return Fig4ParallelWorkloads(ctx, cfg, trace.Suite(), opts, workers, progress)
+// Fig4CellParams parameterise one "fig4-cell" job: a single
+// workload × mode cell of the Fig. 4 grid. Unlike CPUSimParams (which
+// names a canned config), the cell embeds its full SystemConfig, so the
+// parameter document completely determines the simulation — the
+// property that makes cells content-addressable in the result store.
+type Fig4CellParams struct {
+	Config      cpusim.SystemConfig `json:"config"`
+	Mode        string              `json:"mode"`
+	Bench       string              `json:"bench"`
+	WarmupInstr uint64              `json:"warmup_instr,omitempty"`
+	SimInstr    uint64              `json:"sim_instr"`
+	// Seed pins the run when non-zero; zero uses the derived job seed.
+	Seed uint64 `json:"seed,omitempty"`
 }
 
-// Fig4ParallelWorkloads is Fig4Parallel over an explicit workload list;
-// benchmarks use it to run representative subsets of the suite.
-func Fig4ParallelWorkloads(ctx context.Context, cfg cpusim.SystemConfig, workloads []trace.Workload, opts cpusim.RunOptions, workers int, progress io.Writer) (Fig4Data, error) {
-	modes := []core.Mode{core.Baseline, core.SPCS, core.DPCS}
-	type cell struct {
-		workload trace.Workload
-		mode     core.Mode
+// ApplyDefaults is a no-op: fig4-cell documents are machine-written by
+// Fig4Grid and fully explicit, including the embedded SystemConfig.
+func (p *Fig4CellParams) ApplyDefaults() {}
+
+// Validate checks the cell document is runnable.
+func (p *Fig4CellParams) Validate() error {
+	if _, err := modeByName(p.Mode); err != nil {
+		return err
 	}
-	cells := make([]cell, 0, len(workloads)*len(modes))
+	if _, ok := trace.ByName(p.Bench); !ok {
+		return fmt.Errorf("expers: unknown benchmark %q (known: %v)", p.Bench, trace.Names())
+	}
+	if p.SimInstr == 0 {
+		return fmt.Errorf("expers: fig4-cell job needs sim_instr > 0")
+	}
+	return nil
+}
+
+// runFig4CellJob executes one grid cell, returning the full
+// cpusim.Result (the power tables need per-cache detail CPUSimOutput
+// does not carry).
+func runFig4CellJob(ctx context.Context, seed uint64, params json.RawMessage) (any, error) {
+	var p Fig4CellParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	mode, err := modeByName(p.Mode)
+	if err != nil {
+		return nil, err
+	}
+	w, ok := trace.ByName(p.Bench)
+	if !ok {
+		return nil, fmt.Errorf("expers: unknown benchmark %q (known: %v)", p.Bench, trace.Names())
+	}
+	if p.SimInstr == 0 {
+		return nil, fmt.Errorf("expers: fig4-cell job needs sim_instr > 0")
+	}
+	if p.Seed != 0 {
+		seed = p.Seed
+	}
+	return cpusim.RunContext(ctx, p.Config, mode, w, cpusim.RunOptions{
+		WarmupInstr: p.WarmupInstr,
+		SimInstr:    p.SimInstr,
+		Seed:        seed,
+	})
+}
+
+// GridOptions configure one Fig4Grid execution.
+type GridOptions struct {
+	// Workers sizes the pool; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, receives one line per finished cell in
+	// completion order.
+	Progress io.Writer
+	// Cache, when non-nil, memoizes cells content-addressed by their
+	// parameter document, seed and CodeVersion.
+	Cache runner.ResultCache
+	// CodeVersion is the build identity for cache keys (version.String).
+	CodeVersion string
+}
+
+// GridStats is the cell accounting of one grid execution, for the
+// CLI's end-of-run summary line.
+type GridStats struct {
+	Cells    int
+	Cached   int
+	Computed int
+	Failed   int
+}
+
+// Fig4Grid runs the full-suite Fig. 4 grid through the campaign
+// runner's registered "fig4-cell" kind, optionally memoized through a
+// content-addressed result store: a repeated invocation with the same
+// config, window and seed serves every cell from the cache and still
+// assembles byte-identical Fig4Data.
+func Fig4Grid(ctx context.Context, cfg cpusim.SystemConfig, opts cpusim.RunOptions, gopts GridOptions) (Fig4Data, GridStats, error) {
+	return Fig4GridWorkloads(ctx, cfg, trace.Suite(), opts, gopts)
+}
+
+// Fig4GridWorkloads is Fig4Grid over an explicit workload list.
+//
+// Every cell is an independent simulation pinned to opts.Seed, exactly
+// as Fig4's serial loop runs it — cpusim's concurrency contract permits
+// one System per goroutine — so the assembled Fig4Data is
+// byte-identical to Fig4's regardless of worker count, completion
+// order, or cache hits; only wall-clock time changes.
+func Fig4GridWorkloads(ctx context.Context, cfg cpusim.SystemConfig, workloads []trace.Workload, opts cpusim.RunOptions, gopts GridOptions) (Fig4Data, GridStats, error) {
+	modes := []core.Mode{core.Baseline, core.SPCS, core.DPCS}
+	jobs := make([]runner.Spec, 0, len(workloads)*len(modes))
 	for _, w := range workloads {
 		for _, m := range modes {
-			cells = append(cells, cell{w, m})
+			params, err := json.Marshal(Fig4CellParams{
+				Config:      cfg,
+				Mode:        m.String(),
+				Bench:       w.Name,
+				WarmupInstr: opts.WarmupInstr,
+				SimInstr:    opts.SimInstr,
+				Seed:        opts.Seed,
+			})
+			if err != nil {
+				return Fig4Data{}, GridStats{}, err
+			}
+			jobs = append(jobs, runner.Spec{
+				Kind:   "fig4-cell",
+				Name:   fmt.Sprintf("%s/%s/%v", cfg.Name, w.Name, m),
+				Params: params,
+			})
 		}
 	}
-
-	// Each job writes its own element of results, so workers never share
-	// state; the campaign kind is a local closure because the cells
-	// carry live trace.Workload values rather than wire-format params.
-	results := make([]cpusim.Result, len(cells))
-	reg := runner.NewRegistry()
-	reg.MustRegister("fig4-cell", func(ctx context.Context, _ uint64, params json.RawMessage) (any, error) {
-		var idx int
-		if err := json.Unmarshal(params, &idx); err != nil {
-			return nil, err
-		}
-		c := cells[idx]
-		// Determinism comes from opts.Seed pinned into every run, as in
-		// the serial loop — not from the runner's derived per-job seed.
-		res, err := cpusim.RunContext(ctx, cfg, c.mode, c.workload, opts)
-		if err != nil {
-			return nil, err
-		}
-		results[idx] = res
-		return nil, nil
-	})
-
-	jobs := make([]runner.Spec, len(cells))
-	for i, c := range cells {
-		params, err := json.Marshal(i)
-		if err != nil {
-			return Fig4Data{}, err
-		}
-		jobs[i] = runner.Spec{
-			Kind:   "fig4-cell",
-			Name:   fmt.Sprintf("%s/%s/%v", cfg.Name, c.workload.Name, c.mode),
-			Params: params,
-		}
+	ropts := runner.Options{
+		Workers:     gopts.Workers,
+		Cache:       gopts.Cache,
+		CodeVersion: gopts.CodeVersion,
 	}
-	ropts := runner.Options{Workers: workers}
-	if progress != nil {
+	if gopts.Progress != nil {
 		ropts.OnResult = func(r runner.JobResult) {
 			if r.Status == runner.StatusDone {
-				fmt.Fprintf(progress, "  %s\n", results[r.Index])
+				fmt.Fprintf(gopts.Progress, "  %s\n", r.Output.(cpusim.Result))
 			}
 		}
 	}
-	cres, err := runner.Run(ctx, reg, runner.Campaign{Name: "fig4-" + cfg.Name, Seed: opts.Seed, Jobs: jobs}, ropts)
+	cres, err := runner.Run(ctx, NewCampaignRegistry(),
+		runner.Campaign{Name: "fig4-" + cfg.Name, Seed: opts.Seed, Jobs: jobs}, ropts)
 	if err != nil {
-		return Fig4Data{}, err
+		return Fig4Data{}, GridStats{}, err
+	}
+	stats := GridStats{
+		Cells:    len(jobs),
+		Cached:   cres.Cached,
+		Computed: cres.Done - cres.Cached,
+		Failed:   cres.Failed,
 	}
 	for _, r := range cres.Results {
 		if r.Status != runner.StatusDone {
-			c := cells[r.Index]
-			return Fig4Data{}, fmt.Errorf("expers: %s/%s/%v: %s", cfg.Name, c.workload.Name, c.mode, r.Error)
+			return Fig4Data{}, stats, fmt.Errorf("expers: %s: %s", r.Name, r.Error)
 		}
 	}
 
@@ -165,12 +239,26 @@ func Fig4ParallelWorkloads(ctx context.Context, cfg cpusim.SystemConfig, workloa
 	for i, w := range workloads {
 		data.Rows = append(data.Rows, Fig4Row{
 			Workload: w.Name,
-			Baseline: results[i*len(modes)+0],
-			SPCS:     results[i*len(modes)+1],
-			DPCS:     results[i*len(modes)+2],
+			Baseline: cres.Results[i*len(modes)+0].Output.(cpusim.Result),
+			SPCS:     cres.Results[i*len(modes)+1].Output.(cpusim.Result),
+			DPCS:     cres.Results[i*len(modes)+2].Output.(cpusim.Result),
 		})
 	}
-	return data, nil
+	return data, stats, nil
+}
+
+// Fig4Parallel runs the same workload×mode grid as Fig4, fanned out
+// over the worker pool without caching; see Fig4Grid for the memoized
+// form.
+func Fig4Parallel(ctx context.Context, cfg cpusim.SystemConfig, opts cpusim.RunOptions, workers int, progress io.Writer) (Fig4Data, error) {
+	return Fig4ParallelWorkloads(ctx, cfg, trace.Suite(), opts, workers, progress)
+}
+
+// Fig4ParallelWorkloads is Fig4Parallel over an explicit workload list;
+// benchmarks use it to run representative subsets of the suite.
+func Fig4ParallelWorkloads(ctx context.Context, cfg cpusim.SystemConfig, workloads []trace.Workload, opts cpusim.RunOptions, workers int, progress io.Writer) (Fig4Data, error) {
+	data, _, err := Fig4GridWorkloads(ctx, cfg, workloads, opts, GridOptions{Workers: workers, Progress: progress})
+	return data, err
 }
 
 // Summary aggregates a configuration's Fig. 4 data into the paper's

@@ -39,6 +39,11 @@ type JobEvent struct {
 	// DurationMS is the job's own wall-clock duration (terminal job
 	// events only).
 	DurationMS float64 `json:"duration_ms,omitempty"`
+	// Cached marks a job served from the content-addressed result store
+	// rather than computed (job_done events only). It lives in the
+	// timeline, not in result records, so results.jsonl stays
+	// byte-identical across cached and uncached executions.
+	Cached bool `json:"cached,omitempty"`
 	// State is the campaign's terminal state (campaign_finished only).
 	State string `json:"state,omitempty"`
 }

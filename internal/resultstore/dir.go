@@ -1,0 +1,172 @@
+package resultstore
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// DefaultDirName is the conventional local cache directory (relative to
+// the working directory) that `pcs cache` administers when no explicit
+// -cache is given. It is listed in .gitignore: memoized results are
+// derived data and never belong in commits.
+const DefaultDirName = ".pcs-cache"
+
+// Backend is the storage layer under a Store: opaque keys (hex SHA-256
+// strings from Key) to opaque value bytes. Implementations must be safe
+// for concurrent use, and Put must be atomic — a reader never observes
+// a torn value. DirBackend is the local implementation; an
+// S3-compatible backend satisfies the same four methods.
+type Backend interface {
+	// Get returns the stored value, reporting whether the key exists.
+	Get(key string) ([]byte, bool, error)
+	// Put stores the value under key, overwriting any previous value.
+	Put(key string, data []byte) error
+	// Entries lists everything in the store, for Stats and GC.
+	Entries() ([]EntryInfo, error)
+	// Delete removes a key; deleting a missing key is not an error.
+	Delete(key string) error
+}
+
+// EntryInfo describes one stored entry.
+type EntryInfo struct {
+	Key   string
+	Bytes int64
+	// ModTime is when the entry was last written; GC evicts oldest
+	// first.
+	ModTime time.Time
+}
+
+// DirBackend stores entries as files under a local directory, sharded
+// by the first two hex digits of the key (root/ab/abcdef....json) so no
+// single directory grows unboundedly on large campaigns.
+//
+// Writes are write-to-temp-then-rename in the shard directory, so
+// concurrent writers — multiple campaign workers, or several pcs
+// processes sharing one cache — never expose partial values: rename is
+// atomic on POSIX filesystems, and both writers of one key write the
+// same deterministic bytes anyway.
+type DirBackend struct {
+	root string
+}
+
+// OpenDir creates (if needed) and opens a directory backend at root.
+func OpenDir(root string) (*DirBackend, error) {
+	if root == "" {
+		return nil, fmt.Errorf("resultstore: empty cache directory")
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: create cache dir: %w", err)
+	}
+	return &DirBackend{root: root}, nil
+}
+
+// Root returns the backend's directory.
+func (b *DirBackend) Root() string { return b.root }
+
+// path maps a key to its sharded file path.
+func (b *DirBackend) path(key string) (string, error) {
+	if len(key) < 3 || strings.ContainsAny(key, "/\\.") {
+		return "", fmt.Errorf("resultstore: malformed key %q", key)
+	}
+	return filepath.Join(b.root, key[:2], key+".json"), nil
+}
+
+// Get reads one entry.
+func (b *DirBackend) Get(key string) ([]byte, bool, error) {
+	p, err := b.path(key)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("resultstore: read %s: %w", key, err)
+	}
+	return data, true, nil
+}
+
+// Put writes one entry atomically: temp file in the shard directory,
+// then rename over the final name.
+func (b *DirBackend) Put(key string, data []byte) error {
+	p, err := b.path(key)
+	if err != nil {
+		return err
+	}
+	shard := filepath.Dir(p)
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("resultstore: create shard: %w", err)
+	}
+	tmp, err := os.CreateTemp(shard, ".put-*")
+	if err != nil {
+		return fmt.Errorf("resultstore: temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: close %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: commit %s: %w", key, err)
+	}
+	return nil
+}
+
+// Entries walks the shard directories.
+func (b *DirBackend) Entries() ([]EntryInfo, error) {
+	var out []EntryInfo
+	err := filepath.WalkDir(b.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			// A shard vanishing mid-walk (concurrent GC) is not an error.
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		out = append(out, EntryInfo{
+			Key:     strings.TrimSuffix(name, ".json"),
+			Bytes:   info.Size(),
+			ModTime: info.ModTime(),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: walk cache: %w", err)
+	}
+	return out, nil
+}
+
+// Delete removes one entry (and opportunistically its shard directory
+// once empty; failure to remove the now-empty shard is ignored).
+func (b *DirBackend) Delete(key string) error {
+	p, err := b.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("resultstore: delete %s: %w", key, err)
+	}
+	os.Remove(filepath.Dir(p))
+	return nil
+}

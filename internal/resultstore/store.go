@@ -1,0 +1,185 @@
+package resultstore
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Store is the accounting layer over a Backend: it tracks hit/miss/put
+// counters and an approximate byte total for metrics, and implements
+// the runner's ResultCache contract (Get/Put on string keys). All
+// methods are safe for concurrent use.
+type Store struct {
+	backend Backend
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	puts      atomic.Uint64
+	putErrors atomic.Uint64
+	getErrors atomic.Uint64
+	// bytes/entries mirror the backend footprint; primed from Entries
+	// at construction and maintained on Put/GC. Concurrent external
+	// writers make these approximate, which is fine for a gauge.
+	bytes   atomic.Int64
+	entries atomic.Int64
+}
+
+// Open opens (creating if needed) a Store over a local directory
+// backend — the `-cache DIR` form every pcs subcommand accepts.
+func Open(dir string) (*Store, error) {
+	b, err := OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewStore(b)
+}
+
+// NewStore wraps an arbitrary backend, priming the size accounting
+// from its current contents.
+func NewStore(b Backend) (*Store, error) {
+	s := &Store{backend: b}
+	infos, err := b.Entries()
+	if err != nil {
+		return nil, err
+	}
+	var bytes int64
+	for _, e := range infos {
+		bytes += e.Bytes
+	}
+	s.bytes.Store(bytes)
+	s.entries.Store(int64(len(infos)))
+	return s, nil
+}
+
+// Get looks a key up, counting the hit or miss. Backend errors count as
+// misses (and are reported) so a flaky cache degrades to recomputation
+// rather than failing campaigns.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	data, ok, err := s.backend.Get(key)
+	if err != nil {
+		s.getErrors.Add(1)
+		s.misses.Add(1)
+		return nil, false, err
+	}
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return data, ok, nil
+}
+
+// Put stores a computed result. Errors are counted and returned; the
+// runner treats them as best-effort (a failed Put never fails the job).
+func (s *Store) Put(key string, data []byte) error {
+	if err := s.backend.Put(key, data); err != nil {
+		s.putErrors.Add(1)
+		return err
+	}
+	s.puts.Add(1)
+	s.bytes.Add(int64(len(data)))
+	s.entries.Add(1)
+	return nil
+}
+
+// SizeBytes returns the approximate stored byte total; the server's
+// resultstore_bytes gauge reads it at scrape time.
+func (s *Store) SizeBytes() int64 { return s.bytes.Load() }
+
+// Stats is a point-in-time snapshot of the store. Entries/Bytes come
+// from an exact backend walk; the counters cover this process's
+// lifetime.
+type Stats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	PutErrors uint64 `json:"put_errors"`
+	GetErrors uint64 `json:"get_errors"`
+}
+
+// Stats walks the backend and returns exact entry/byte totals plus the
+// session counters (also re-priming the gauge accounting).
+func (s *Store) Stats() (Stats, error) {
+	infos, err := s.backend.Entries()
+	if err != nil {
+		return Stats{}, err
+	}
+	var bytes int64
+	for _, e := range infos {
+		bytes += e.Bytes
+	}
+	s.bytes.Store(bytes)
+	s.entries.Store(int64(len(infos)))
+	return Stats{
+		Entries:   len(infos),
+		Bytes:     bytes,
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		PutErrors: s.putErrors.Load(),
+		GetErrors: s.getErrors.Load(),
+	}, nil
+}
+
+// GCOptions bound a collection pass. Zero values mean "no bound on this
+// axis"; GC with both zero is a no-op.
+type GCOptions struct {
+	// MaxBytes evicts oldest entries until the store fits.
+	MaxBytes int64
+	// MaxAge evicts entries older than this.
+	MaxAge time.Duration
+	// Now anchors MaxAge; zero means time.Now().
+	Now time.Time
+}
+
+// GCResult summarises one collection pass.
+type GCResult struct {
+	Scanned        int   `json:"scanned"`
+	Removed        int   `json:"removed"`
+	RemovedBytes   int64 `json:"removed_bytes"`
+	RemainingBytes int64 `json:"remaining_bytes"`
+}
+
+// GC evicts entries oldest-first until the store satisfies opts.
+// Deleting a key another process already removed is not an error, so
+// concurrent GC passes are safe (if wasteful).
+func (s *Store) GC(opts GCOptions) (GCResult, error) {
+	infos, err := s.backend.Entries()
+	if err != nil {
+		return GCResult{}, err
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ModTime.Before(infos[j].ModTime) })
+	var total int64
+	for _, e := range infos {
+		total += e.Bytes
+	}
+	now := opts.Now
+	if now.IsZero() {
+		now = time.Now()
+	}
+	res := GCResult{Scanned: len(infos), RemainingBytes: total}
+	for _, e := range infos {
+		tooOld := opts.MaxAge > 0 && now.Sub(e.ModTime) > opts.MaxAge
+		tooBig := opts.MaxBytes > 0 && res.RemainingBytes > opts.MaxBytes
+		if !tooOld && !tooBig {
+			if opts.MaxAge <= 0 {
+				// Entries are age-sorted: once under the byte budget with
+				// no age bound, nothing further can be evictable.
+				break
+			}
+			continue
+		}
+		if err := s.backend.Delete(e.Key); err != nil {
+			return res, err
+		}
+		res.Removed++
+		res.RemovedBytes += e.Bytes
+		res.RemainingBytes -= e.Bytes
+	}
+	s.bytes.Store(res.RemainingBytes)
+	s.entries.Store(int64(res.Scanned - res.Removed))
+	return res, nil
+}

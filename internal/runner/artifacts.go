@@ -2,6 +2,8 @@ package runner
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ledger"
 	"repro/internal/obs"
 )
 
@@ -20,12 +23,16 @@ import (
 //	results.jsonl   one JobResult per line, in job-index order
 //	summary.json    terminal counts and elapsed time
 //	timeline.jsonl  one obs.JobEvent per line, in wall-clock order
+//	ledger.jsonl    hash-chained digests (see internal/ledger)
 //
 // results.jsonl is written from the deterministic per-job records only,
 // so two executions of the same campaign+seed produce byte-identical
 // files regardless of worker count. timeline.jsonl is the deliberate
 // exception: it records when each job started and finished, so it varies
-// run to run and is never an input to result comparison.
+// run to run and is never an input to result comparison. ledger.jsonl
+// chains a digest of every results.jsonl line back to the spec digest,
+// seed and code version, so `pcs verify` can prove the directory's
+// integrity after the fact.
 
 // NewRunDir creates and returns a fresh timestamped run directory under
 // root (e.g. "runs"). Collisions get a numeric suffix.
@@ -64,6 +71,10 @@ type manifest struct {
 type artifactStore struct {
 	dir      string
 	campaign string
+	// c, workers, codeVersion feed the ledger's manifest entry.
+	c           Campaign
+	workers     int
+	codeVersion string
 
 	// Timeline state. Workers emit events concurrently; the mutex keeps
 	// lines whole and the start time anchors the elapsed offsets.
@@ -77,7 +88,7 @@ type artifactStore struct {
 
 // newArtifactStore creates dir if needed, writes the manifest and opens
 // the timeline.
-func newArtifactStore(dir string, c Campaign, workers int) (*artifactStore, error) {
+func newArtifactStore(dir string, c Campaign, workers int, codeVersion string) (*artifactStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: artifact dir: %w", err)
 	}
@@ -96,7 +107,11 @@ func newArtifactStore(dir string, c Campaign, workers int) (*artifactStore, erro
 	if err != nil {
 		return nil, fmt.Errorf("runner: timeline.jsonl: %w", err)
 	}
-	a := &artifactStore{dir: dir, campaign: c.Name, tf: tf, start: time.Now()}
+	a := &artifactStore{
+		dir: dir, campaign: c.Name,
+		c: c, workers: workers, codeVersion: codeVersion,
+		tf: tf, start: time.Now(),
+	}
 	a.tw = bufio.NewWriter(tf)
 	a.tenc = json.NewEncoder(a.tw)
 	a.event(obs.JobEvent{Type: obs.EventCampaignStarted, Campaign: c.Name, Index: -1})
@@ -138,6 +153,7 @@ func (a *artifactStore) jobFinished(r JobResult) {
 		Name:       r.Name,
 		Error:      r.Error,
 		DurationMS: float64(r.Duration.Microseconds()) / 1e3,
+		Cached:     r.Cached,
 	})
 }
 
@@ -162,8 +178,10 @@ func (a *artifactStore) closeTimeline(res *CampaignResult) error {
 	return a.terr
 }
 
-// finish closes the timeline and writes results.jsonl (index order) and
-// summary.json.
+// finish closes the timeline and writes results.jsonl (index order),
+// summary.json and the hash-chained ledger.jsonl. It runs on every
+// campaign exit — including cancellation — so a cancelled run still
+// leaves a closed, verifiable chain.
 func (a *artifactStore) finish(results []JobResult, res *CampaignResult) error {
 	if err := a.closeTimeline(res); err != nil {
 		return err
@@ -172,13 +190,24 @@ func (a *artifactStore) finish(results []JobResult, res *CampaignResult) error {
 	if err != nil {
 		return fmt.Errorf("runner: results.jsonl: %w", err)
 	}
+	// json.Marshal + '\n' produces the same bytes json.Encoder.Encode
+	// would, and hands us each line for digesting.
 	w := bufio.NewWriter(f)
-	enc := json.NewEncoder(w)
+	fileHash := sha256.New()
+	lineDigests := make([]string, len(results))
 	for i := range results {
-		if err := enc.Encode(&results[i]); err != nil {
+		line, err := json.Marshal(&results[i])
+		if err != nil {
 			f.Close()
 			return fmt.Errorf("runner: encode result %d: %w", i, err)
 		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			f.Close()
+			return fmt.Errorf("runner: write result %d: %w", i, err)
+		}
+		fileHash.Write(line)
+		lineDigests[i] = ledger.LineDigest(line)
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
@@ -193,7 +222,67 @@ func (a *artifactStore) finish(results []JobResult, res *CampaignResult) error {
 		Cancelled int           `json:"cancelled"`
 		Elapsed   time.Duration `json:"elapsed_ns"`
 	}{res.Done, res.Failed, res.Cancelled, res.Elapsed}
-	return writeJSON(filepath.Join(a.dir, "summary.json"), summary)
+	if err := writeJSON(filepath.Join(a.dir, "summary.json"), summary); err != nil {
+		return err
+	}
+	return a.writeLedger(results, res, lineDigests, hex.EncodeToString(fileHash.Sum(nil)))
+}
+
+// writeLedger emits the hash chain closing over the campaign's spec
+// digest, seed, code version and every result digest.
+func (a *artifactStore) writeLedger(results []JobResult, res *CampaignResult, lineDigests []string, resultsDigest string) error {
+	specsRaw, err := json.Marshal(a.c.Jobs)
+	if err != nil {
+		return fmt.Errorf("runner: marshal specs for ledger: %w", err)
+	}
+	specsDigest, err := ledger.SpecsDigest(specsRaw)
+	if err != nil {
+		return fmt.Errorf("runner: %w", err)
+	}
+	f, err := os.Create(filepath.Join(a.dir, ledger.FileName))
+	if err != nil {
+		return fmt.Errorf("runner: %s: %w", ledger.FileName, err)
+	}
+	w := bufio.NewWriter(f)
+	lw := ledger.NewWriter(w)
+	err = lw.Append(ledger.TypeManifest, ledger.Manifest{
+		Campaign:    a.c.Name,
+		Seed:        a.c.Seed,
+		Jobs:        len(a.c.Jobs),
+		Workers:     a.workers,
+		CodeVersion: a.codeVersion,
+		SpecsDigest: specsDigest,
+	})
+	for i := range results {
+		if err != nil {
+			break
+		}
+		r := &results[i]
+		err = lw.Append(ledger.TypeResult, ledger.Result{
+			Index:  r.Index,
+			Kind:   r.Kind,
+			Name:   r.Name,
+			Seed:   r.Seed,
+			Status: string(r.Status),
+			Cached: r.Cached,
+			Digest: lineDigests[i],
+		})
+	}
+	if err == nil {
+		err = lw.Append(ledger.TypeSummary, ledger.Summary{
+			Done:          res.Done,
+			Failed:        res.Failed,
+			Cancelled:     res.Cancelled,
+			ResultsDigest: resultsDigest,
+		})
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("runner: close %s: %w", ledger.FileName, cerr)
+	}
+	return err
 }
 
 func writeJSON(path string, v any) error {

@@ -1,0 +1,223 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ledger"
+	"repro/internal/resultstore"
+)
+
+type countOutput struct {
+	Sum  uint64 `json:"sum"`
+	Seed uint64 `json:"seed"`
+}
+
+// cacheTestRegistry registers a cacheable seeded kind that counts its
+// executions, plus an uncacheable twin (no decoder).
+func cacheTestRegistry(t *testing.T, executions *atomic.Int64) *Registry {
+	t.Helper()
+	fn := func(_ context.Context, seed uint64, params json.RawMessage) (any, error) {
+		executions.Add(1)
+		var p struct {
+			Draws int `json:"draws"`
+		}
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		return countOutput{Sum: uint64(p.Draws) * seed, Seed: seed}, nil
+	}
+	reg := NewRegistry()
+	reg.MustRegisterKind("counted", fn, KindInfo{
+		Seeded: true,
+		DecodeOutput: func(data []byte) (any, error) {
+			var out countOutput
+			if err := json.Unmarshal(data, &out); err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+	})
+	reg.MustRegister("counted-nodecoder", fn)
+	return reg
+}
+
+func countedCampaign(kind string, n int) Campaign {
+	c := Campaign{Name: "cachetest", Seed: 7}
+	for i := 0; i < n; i++ {
+		c.Jobs = append(c.Jobs, Spec{Kind: kind, Params: json.RawMessage(`{"draws": 3}`)})
+	}
+	return c
+}
+
+func TestCacheSecondRunAllHits(t *testing.T) {
+	var execs atomic.Int64
+	reg := cacheTestRegistry(t, &execs)
+	store, err := resultstore.Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(dir string) *CampaignResult {
+		res, err := Run(context.Background(), reg, countedCampaign("counted", 8), Options{
+			Workers: 4, ArtifactDir: dir, Cache: store, CodeVersion: "v-test",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	dir1 := filepath.Join(t.TempDir(), "run1")
+	res1 := run(dir1)
+	if res1.Done != 8 || res1.Cached != 0 {
+		t.Fatalf("first run: done=%d cached=%d, want 8/0", res1.Done, res1.Cached)
+	}
+	if execs.Load() != 8 {
+		t.Fatalf("first run executions: %d, want 8", execs.Load())
+	}
+
+	dir2 := filepath.Join(t.TempDir(), "run2")
+	res2 := run(dir2)
+	if res2.Done != 8 || res2.Cached != 8 {
+		t.Fatalf("second run: done=%d cached=%d, want 8/8", res2.Done, res2.Cached)
+	}
+	if execs.Load() != 8 {
+		t.Errorf("second run re-executed: %d executions total", execs.Load())
+	}
+
+	// Cached results must reconstruct the concrete output type.
+	if _, ok := res2.Results[0].Output.(countOutput); !ok {
+		t.Errorf("cached output type: %T, want countOutput", res2.Results[0].Output)
+	}
+
+	// results.jsonl is byte-identical across the cold and warm runs.
+	b1, err := os.ReadFile(filepath.Join(dir1, "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(filepath.Join(dir2, "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("results.jsonl differs between cold and warm runs")
+	}
+
+	// Both run directories carry a verifiable ledger; the warm run's
+	// chain records the cache provenance.
+	rep1, err := ledger.VerifyDir(dir1)
+	if err != nil {
+		t.Fatalf("verify cold run: %v", err)
+	}
+	if rep1.Cached != 0 || rep1.Manifest.CodeVersion != "v-test" {
+		t.Errorf("cold run report: cached=%d version=%q", rep1.Cached, rep1.Manifest.CodeVersion)
+	}
+	rep2, err := ledger.VerifyDir(dir2)
+	if err != nil {
+		t.Fatalf("verify warm run: %v", err)
+	}
+	if rep2.Cached != 8 {
+		t.Errorf("warm run report: cached=%d, want 8", rep2.Cached)
+	}
+}
+
+func TestCacheMissesOnVersionOrSeedChange(t *testing.T) {
+	var execs atomic.Int64
+	reg := cacheTestRegistry(t, &execs)
+	store, err := resultstore.Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(c Campaign, version string) *CampaignResult {
+		res, err := Run(context.Background(), reg, c, Options{
+			Workers: 1, Cache: store, CodeVersion: version,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	c := countedCampaign("counted", 4)
+	run(c, "v1")
+	if got := execs.Load(); got != 4 {
+		t.Fatalf("cold run executions: %d", got)
+	}
+
+	// Same campaign, different code version: every cell recomputes.
+	res := run(c, "v2")
+	if res.Cached != 0 || execs.Load() != 8 {
+		t.Errorf("version change: cached=%d execs=%d, want 0/8", res.Cached, execs.Load())
+	}
+
+	// Same version, different master seed: derived per-job seeds change,
+	// so every cell recomputes.
+	c2 := c
+	c2.Seed = 8
+	res = run(c2, "v1")
+	if res.Cached != 0 || execs.Load() != 12 {
+		t.Errorf("seed change: cached=%d execs=%d, want 0/12", res.Cached, execs.Load())
+	}
+
+	// And the original (campaign, version) still hits in full.
+	res = run(c, "v1")
+	if res.Cached != 4 || execs.Load() != 12 {
+		t.Errorf("replay: cached=%d execs=%d, want 4/12", res.Cached, execs.Load())
+	}
+}
+
+func TestCacheSkipsKindsWithoutDecoder(t *testing.T) {
+	var execs atomic.Int64
+	reg := cacheTestRegistry(t, &execs)
+	store, err := resultstore.Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := countedCampaign("counted-nodecoder", 3)
+	for i := 0; i < 2; i++ {
+		res, err := Run(context.Background(), reg, c, Options{Workers: 1, Cache: store, CodeVersion: "v"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached != 0 {
+			t.Errorf("run %d: cached=%d, want 0", i, res.Cached)
+		}
+	}
+	if execs.Load() != 6 {
+		t.Errorf("executions: %d, want 6 (kind must never be cached)", execs.Load())
+	}
+	st, err := store.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 0 {
+		t.Errorf("store entries: %d, want 0", st.Entries)
+	}
+}
+
+func TestEffectiveSeed(t *testing.T) {
+	seeded := KindInfo{Seeded: true}
+	cases := []struct {
+		name    string
+		info    KindInfo
+		params  string
+		derived uint64
+		want    uint64
+	}{
+		{"unseeded kind", KindInfo{}, `{"seed":9}`, 5, 0},
+		{"pinned seed", seeded, `{"seed":9}`, 5, 9},
+		{"derived seed", seeded, `{"x":1}`, 5, 5},
+		{"zero pin falls back", seeded, `{"seed":0}`, 5, 5},
+		{"no params", seeded, ``, 5, 5},
+	}
+	for _, c := range cases {
+		if got := effectiveSeed(c.info, json.RawMessage(c.params), c.derived); got != c.want {
+			t.Errorf("%s: got %d want %d", c.name, got, c.want)
+		}
+	}
+}

@@ -16,21 +16,42 @@ import (
 // contract.
 type Func func(ctx context.Context, seed uint64, params json.RawMessage) (any, error)
 
+// KindInfo is optional per-kind metadata that makes a kind eligible
+// for the content-addressed result cache (see Options.Cache).
+type KindInfo struct {
+	// DecodeOutput decodes a stored output document back into the
+	// concrete type the kind function returns, so downstream type
+	// assertions work identically on cached and computed results. Kinds
+	// without a decoder are never cached.
+	DecodeOutput func(data []byte) (any, error)
+	// Seeded reports whether the kind's computation consumes its seed.
+	// Unseeded (analytical) kinds hash with seed 0, so the same cell is
+	// shared across campaigns regardless of master seed.
+	Seeded bool
+}
+
 // Registry maps experiment kinds to their implementations. The zero
 // value is not usable; call NewRegistry.
 type Registry struct {
 	mu    sync.RWMutex
 	kinds map[string]Func
+	infos map[string]KindInfo
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{kinds: make(map[string]Func)}
+	return &Registry{kinds: make(map[string]Func), infos: make(map[string]KindInfo)}
 }
 
-// Register adds a kind. Registering an empty name, a nil function, or a
-// duplicate kind is an error.
+// Register adds a kind with no cache metadata (the kind runs fine but
+// its results are never memoized). Registering an empty name, a nil
+// function, or a duplicate kind is an error.
 func (r *Registry) Register(kind string, fn Func) error {
+	return r.RegisterKind(kind, fn, KindInfo{})
+}
+
+// RegisterKind adds a kind together with its cache metadata.
+func (r *Registry) RegisterKind(kind string, fn Func, info KindInfo) error {
 	if kind == "" {
 		return fmt.Errorf("runner: empty kind name")
 	}
@@ -43,6 +64,7 @@ func (r *Registry) Register(kind string, fn Func) error {
 		return fmt.Errorf("runner: kind %q already registered", kind)
 	}
 	r.kinds[kind] = fn
+	r.infos[kind] = info
 	return nil
 }
 
@@ -53,12 +75,27 @@ func (r *Registry) MustRegister(kind string, fn Func) {
 	}
 }
 
+// MustRegisterKind is RegisterKind, panicking on error.
+func (r *Registry) MustRegisterKind(kind string, fn Func, info KindInfo) {
+	if err := r.RegisterKind(kind, fn, info); err != nil {
+		panic(err)
+	}
+}
+
 // Lookup returns the function for kind.
 func (r *Registry) Lookup(kind string) (Func, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	fn, ok := r.kinds[kind]
 	return fn, ok
+}
+
+// Info returns kind's cache metadata (the zero KindInfo for kinds
+// registered without any).
+func (r *Registry) Info(kind string) KindInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.infos[kind]
 }
 
 // Kinds returns the registered kind names, sorted.

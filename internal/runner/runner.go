@@ -30,8 +30,19 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/resultstore"
 	"repro/internal/stats"
 )
+
+// ResultCache is the runner's view of a content-addressed result
+// store: opaque keys to serialized output documents.
+// *resultstore.Store implements it; the interface keeps the runner
+// independent of the store's backends. Both methods must be safe for
+// concurrent use.
+type ResultCache interface {
+	Get(key string) ([]byte, bool, error)
+	Put(key string, data []byte) error
+}
 
 // Spec is one self-describing experiment: a registered kind plus its
 // JSON-encoded parameters. Specs are the unit of work submitted to the
@@ -82,6 +93,12 @@ type JobResult struct {
 	// JSON so results.jsonl stays byte-identical across worker counts;
 	// wall-clock timing belongs to the timeline artifact.
 	Duration time.Duration `json:"-"`
+	// Cached marks a result served from Options.Cache instead of
+	// computed. Excluded from JSON for the same determinism reason as
+	// Duration: a cached re-run must reproduce results.jsonl
+	// byte-identically. Cache provenance is recorded in timeline.jsonl
+	// and ledger.jsonl.
+	Cached bool `json:"-"`
 }
 
 // Progress is a snapshot of a running campaign.
@@ -124,6 +141,18 @@ type Options struct {
 	// kind function sees it — e.g. attaching a per-job telemetry sink
 	// with obs.ContextWithPolicySink.
 	JobContext func(ctx context.Context, index int, spec Spec) context.Context
+	// Cache, when non-nil, memoizes job outputs content-addressed by
+	// (kind, canonical params, effective seed, CodeVersion): runJob
+	// consults it before executing and stores successful outputs after.
+	// Only kinds registered with a DecodeOutput (see KindInfo) ever hit
+	// the cache. Cache failures degrade to recomputation, never to
+	// campaign failure.
+	Cache ResultCache
+	// CodeVersion is the build identity mixed into every cache key (a
+	// rebuild with different code must miss) and recorded in the run
+	// ledger. Empty is allowed but conflates builds; the pcs CLI always
+	// passes version.String().
+	CodeVersion string
 }
 
 // CampaignResult is the outcome of a campaign execution.
@@ -136,7 +165,9 @@ type CampaignResult struct {
 	Done    int         `json:"done"`
 	Failed  int         `json:"failed"`
 	// Cancelled counts jobs abandoned due to context cancellation.
-	Cancelled   int           `json:"cancelled"`
+	Cancelled int `json:"cancelled"`
+	// Cached counts done jobs that were served from Options.Cache.
+	Cached      int           `json:"cached,omitempty"`
 	Elapsed     time.Duration `json:"elapsed_ns"`
 	ArtifactDir string        `json:"artifact_dir,omitempty"`
 }
@@ -172,7 +203,7 @@ func Run(ctx context.Context, reg *Registry, c Campaign, opts Options) (*Campaig
 	var store *artifactStore
 	if opts.ArtifactDir != "" {
 		var err error
-		store, err = newArtifactStore(opts.ArtifactDir, c, workers)
+		store, err = newArtifactStore(opts.ArtifactDir, c, workers, opts.CodeVersion)
 		if err != nil {
 			return nil, err
 		}
@@ -260,6 +291,9 @@ feed:
 		switch r.Status {
 		case StatusDone:
 			res.Done++
+			if r.Cached {
+				res.Cached++
+			}
 		case StatusFailed:
 			res.Failed++
 		case StatusCancelled:
@@ -299,6 +333,27 @@ func runJob(ctx context.Context, reg *Registry, c Campaign, i int, opts Options)
 		ctx = opts.JobContext(ctx, i, spec)
 	}
 	fn, _ := reg.Lookup(spec.Kind)
+
+	// Content-addressed memoization: only kinds that can reconstruct
+	// their concrete output type from stored bytes participate.
+	var cacheKey string
+	if info := reg.Info(spec.Kind); opts.Cache != nil && info.DecodeOutput != nil {
+		key, err := resultstore.Key(spec.Kind, spec.Params, effectiveSeed(info, spec.Params, res.Seed), opts.CodeVersion)
+		if err == nil {
+			cacheKey = key
+			if data, ok, _ := opts.Cache.Get(key); ok {
+				if out, err := info.DecodeOutput(data); err == nil {
+					res.Status = StatusDone
+					res.Output = out
+					res.Cached = true
+					return res
+				}
+				// An undecodable entry (e.g. written by an incompatible
+				// build despite the version key) falls through to compute.
+			}
+		}
+	}
+
 	out, err := fn(ctx, res.Seed, spec.Params)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -312,7 +367,37 @@ func runJob(ctx context.Context, reg *Registry, c Campaign, i int, opts Options)
 	}
 	res.Status = StatusDone
 	res.Output = out
+	if cacheKey != "" {
+		// Best effort: a Put failure leaves the result intact and the
+		// cell recomputable next time.
+		if data, err := json.Marshal(out); err == nil {
+			_ = opts.Cache.Put(cacheKey, data)
+		}
+	}
 	return res
+}
+
+// effectiveSeed resolves the seed component of a cell's cache key,
+// mirroring the kinds' own seeding convention: unseeded analytical
+// kinds hash as 0 (their output cannot depend on the seed), kinds
+// whose params pin a non-zero top-level "seed" hash that pin, and
+// everything else hashes the runner-derived per-job seed.
+func effectiveSeed(info KindInfo, params json.RawMessage, derived uint64) uint64 {
+	if !info.Seeded {
+		return 0
+	}
+	var p struct {
+		Seed uint64 `json:"seed"`
+	}
+	if len(params) > 0 {
+		// Loose parse: params that fail here fail properly in the kind
+		// function.
+		_ = json.Unmarshal(params, &p)
+	}
+	if p.Seed != 0 {
+		return p.Seed
+	}
+	return derived
 }
 
 func cancelledResult(c Campaign, i int) JobResult {

@@ -51,6 +51,11 @@ type Server struct {
 	// specExpander lowers a declarative experiment spec (the document
 	// the pcs CLI consumes) to a campaign; see ServerOptions.
 	specExpander func(raw []byte) (Campaign, int, error)
+	// cache, when non-nil, memoizes cell results across campaigns — the
+	// shared-service payoff: two users submitting overlapping sweeps
+	// compute each cell once.
+	cache       ResultCache
+	codeVersion string
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -89,6 +94,12 @@ type ServerOptions struct {
 	// is injected rather than imported because internal/config depends
 	// on this package.
 	SpecExpander func(raw []byte) (Campaign, int, error)
+	// Cache, when non-nil, is passed to every campaign execution as
+	// Options.Cache and surfaces resultstore_* families at /metrics.
+	Cache ResultCache
+	// CodeVersion is the build identity recorded in run ledgers and
+	// mixed into cache keys; see Options.CodeVersion.
+	CodeVersion string
 }
 
 // serverMetrics wires the server's obs.Registry families. Counters are
@@ -109,6 +120,11 @@ type serverMetrics struct {
 	workers          *obs.Gauge
 	utilization      *obs.Gauge
 	jobsPerSec       *obs.Gauge
+
+	// Result-store families; nil unless a cache is configured, so the
+	// exposition only carries them when they mean something.
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
 }
 
 func newServerMetrics() *serverMetrics {
@@ -130,6 +146,23 @@ func newServerMetrics() *serverMetrics {
 		jobErrors: r.CounterVec("pcs_job_errors_total",
 			"Failed jobs by campaign kind.", "kind"),
 	}
+}
+
+// enableCache registers the result-store families. The bytes gauge is
+// scrape-time: caches exposing SizeBytes (resultstore.Store does)
+// report their footprint, others report 0.
+func (m *serverMetrics) enableCache(cache ResultCache) {
+	m.cacheHits = m.reg.Counter("resultstore_hits_total",
+		"Campaign cells served from the content-addressed result store.")
+	m.cacheMisses = m.reg.Counter("resultstore_misses_total",
+		"Campaign cells computed because the result store had no entry.")
+	m.reg.GaugeFunc("resultstore_bytes",
+		"Approximate bytes stored in the result store.", func() float64 {
+			if sized, ok := cache.(interface{ SizeBytes() int64 }); ok {
+				return float64(sized.SizeBytes())
+			}
+			return 0
+		})
 }
 
 // campaignState tracks one submitted campaign.
@@ -172,15 +205,21 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 	if log == nil {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	metrics := newServerMetrics()
+	if opts.Cache != nil {
+		metrics.enableCache(opts.Cache)
+	}
 	return &Server{
 		reg:            reg,
 		defaultWorkers: opts.DefaultWorkers,
 		artifactRoot:   opts.ArtifactRoot,
 		specExpander:   opts.SpecExpander,
+		cache:          opts.Cache,
+		codeVersion:    opts.CodeVersion,
 		baseCtx:        ctx,
 		stop:           cancel,
 		log:            log,
-		metrics:        newServerMetrics(),
+		metrics:        metrics,
 		campaigns:      make(map[string]*campaignState),
 		started:        time.Now(),
 	}
@@ -392,6 +431,13 @@ func (s *Server) execute(ctx context.Context, cs *campaignState) {
 			switch r.Status {
 			case StatusDone:
 				s.metrics.jobsDone.Inc()
+				if s.metrics.cacheHits != nil {
+					if r.Cached {
+						s.metrics.cacheHits.Inc()
+					} else {
+						s.metrics.cacheMisses.Inc()
+					}
+				}
 				durationByKind[r.Kind].Observe(r.Duration.Seconds())
 			case StatusFailed:
 				typ = obs.EventJobFailed
@@ -403,8 +449,11 @@ func (s *Server) execute(ctx context.Context, cs *campaignState) {
 			}
 			cs.addEvent(obs.JobEvent{Type: typ, Index: r.Index, Kind: r.Kind,
 				Name: r.Name, Error: r.Error,
-				DurationMS: float64(r.Duration.Microseconds()) / 1e3})
+				DurationMS: float64(r.Duration.Microseconds()) / 1e3,
+				Cached:     r.Cached})
 		},
+		Cache:       s.cache,
+		CodeVersion: s.codeVersion,
 	}
 	if s.artifactRoot != "" {
 		opts.ArtifactDir = filepath.Join(s.artifactRoot, cs.id)

@@ -1,0 +1,48 @@
+// Package version is the single source of the binary's build identity.
+// It serves two masters: `pcs version` output, and the code-version
+// component of every result-store cache key and run-ledger manifest —
+// so a rebuild with different code correctly invalidates memoized
+// cells, and every run directory records exactly which build produced
+// it.
+package version
+
+import "runtime/debug"
+
+// Version is the release stamp, injected at build time by the Makefile:
+//
+//	go build -ldflags "-X repro/internal/version.Version=$(VERSION)"
+//
+// Left empty (a plain `go build`), String falls back to VCS metadata.
+var Version = ""
+
+// String resolves the build identity: the stamped Version if present,
+// else the embedded VCS revision (with a -dirty suffix for modified
+// trees), else the module version, else "unknown".
+func String() string {
+	if Version != "" {
+		return Version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, suffix string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					suffix = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			return rev + suffix
+		}
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+	}
+	return "unknown"
+}
