@@ -11,6 +11,7 @@
 //	pcs figures     render the paper figures as SVG
 //	pcs report      full reproduction as one Markdown report
 //	pcs serve       HTTP campaign job service
+//	pcs top         per-cell resource attribution (run dir or live server)
 //	pcs verify      check a run directory's hash-chained ledger
 //	pcs cache       inspect or prune the content-addressed result store
 //	pcs version     print the build version
@@ -52,6 +53,7 @@ func main() {
 		figuresCommand(),
 		reportCommand(),
 		serveCommand(),
+		topCommand(),
 		verifyCommand(),
 		cacheCommand(),
 	)

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/cli"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/cpusim"
 	"repro/internal/expers"
 	"repro/internal/obs"
+	"repro/internal/obs/tracez"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
@@ -25,7 +27,10 @@ import (
 // full default takes tens of minutes. -timeline skips the full
 // reproduction and instead renders a policy timeline (a JSONL file
 // written by pcs sim -timeline or pcs sweep -timeline) as VDD-vs-time
-// tables.
+// tables. -perfetto RUNDIR converts a traced run's spans.jsonl to a
+// Chrome trace-event file loadable in Perfetto / chrome://tracing, and
+// -top RUNDIR renders the run's per-cell resource attribution (see
+// DESIGN.md §11); both read a runs/<ts>/ directory and exit.
 func reportCommand() *cli.Command {
 	var (
 		out      string
@@ -33,17 +38,25 @@ func reportCommand() *cli.Command {
 		quick    bool
 		timeline string
 		clockGHz float64
+		perfetto bool
+		top      bool
+		sortKey  string
+		topN     int
 	)
 	return &cli.Command{
 		Name:    "report",
 		Summary: "run the full reproduction and write one Markdown report",
-		Usage:   "[-o report.md] [-instr N] [-quick] [-timeline file [-clock GHz]]",
+		Usage:   "[-o report.md] [-instr N] [-quick] [-timeline file [-clock GHz]] [-perfetto RUNDIR] [-top RUNDIR [-sort key] [-n N]]",
 		SetFlags: func(fs *flag.FlagSet) {
-			fs.StringVar(&out, "o", "report.md", "output Markdown path")
+			fs.StringVar(&out, "o", "report.md", "output Markdown path (with -perfetto: trace output path, default RUNDIR/trace.json)")
 			fs.Uint64Var(&instr, "instr", 24_000_000, "measured instructions per simulation run")
 			fs.BoolVar(&quick, "quick", false, "use ~10x smaller simulation windows")
 			fs.StringVar(&timeline, "timeline", "", "render this policy timeline JSONL as VDD-vs-time tables and exit")
 			fs.Float64Var(&clockGHz, "clock", 2.0, "clock for -timeline cycle-to-time conversion (GHz; Config A = 2, B = 3)")
+			fs.BoolVar(&perfetto, "perfetto", false, "convert RUNDIR/spans.jsonl to a Chrome trace-event file and exit")
+			fs.BoolVar(&top, "top", false, "render RUNDIR's per-cell resource attribution tables and exit")
+			fs.StringVar(&sortKey, "sort", "cpu", "with -top: sort key (cpu, wall, allocs, energy)")
+			fs.IntVar(&topN, "n", 15, "with -top: rows in the top-cells table (0 = all)")
 		},
 		Run: func(fs *flag.FlagSet) error {
 			if quick {
@@ -52,9 +65,72 @@ func reportCommand() *cli.Command {
 			if timeline != "" {
 				return renderSavedTimeline(timeline, clockGHz*1e9)
 			}
+			if perfetto || top {
+				if fs.NArg() != 1 {
+					return fmt.Errorf("-perfetto/-top need exactly one run directory argument (got %d)", fs.NArg())
+				}
+				dir := fs.Arg(0)
+				if perfetto {
+					dst := filepath.Join(dir, "trace.json")
+					if flagsSet(fs)["o"] {
+						dst = out
+					}
+					return exportPerfetto(dir, dst)
+				}
+				return renderTopCells(dir, sortKey, topN)
+			}
 			return writeReport(out, instr)
 		},
 	}
+}
+
+// exportPerfetto converts a traced run directory's spans.jsonl into a
+// Chrome trace-event JSON file for Perfetto / chrome://tracing.
+func exportPerfetto(dir, dst string) error {
+	spans, err := tracez.ReadFile(filepath.Join(dir, tracez.FileName))
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("%s: no spans recorded (was the campaign run with tracing on?)", dir)
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if err := tracez.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d spans to %s (load in https://ui.perfetto.dev or chrome://tracing)\n", len(spans), dst)
+	return nil
+}
+
+// renderTopCells renders a run directory's per-cell resource
+// attribution: the top-N cells table plus per-kind totals, joined with
+// per-cell energy from results.jsonl where available.
+func renderTopCells(dir, sortKey string, n int) error {
+	events, err := obs.ReadJobTimeline(filepath.Join(dir, "timeline.jsonl"))
+	if err != nil {
+		return err
+	}
+	cells := report.CellsFromEvents(events)
+	if len(cells) == 0 {
+		return fmt.Errorf("%s: timeline has no terminal job events", dir)
+	}
+	if err := report.AttachEnergyFile(cells, filepath.Join(dir, "results.jsonl")); err != nil {
+		return err
+	}
+	if err := report.SortCells(cells, sortKey); err != nil {
+		return err
+	}
+	if err := report.TopCellsTable(cells, n).Render(os.Stdout); err != nil {
+		return err
+	}
+	return report.KindSummaryTable(cells).Render(os.Stdout)
 }
 
 func writeReport(out string, instr uint64) (err error) {

@@ -30,6 +30,7 @@ import (
 //	GET    /campaigns/{id}          status, progress, ETA
 //	GET    /campaigns/{id}/results  stream result records as JSON lines
 //	GET    /campaigns/{id}/events   stream job lifecycle events (NDJSON)
+//	GET    /campaigns/{id}/spans    stream trace spans (NDJSON; -trace)
 //	DELETE /campaigns/{id}          cancel a campaign
 //	GET    /metrics                 Prometheus exposition
 //	GET    /healthz                 liveness probe
@@ -52,6 +53,7 @@ func serveCommand() *cli.Command {
 		withPprof bool
 		logJSON   bool
 		cacheDir  string
+		traceOn   bool
 	)
 	return &cli.Command{
 		Name:    "serve",
@@ -65,6 +67,7 @@ func serveCommand() *cli.Command {
 			fs.BoolVar(&withPprof, "pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 			fs.BoolVar(&logJSON, "log-json", false, "emit JSON log lines instead of key=value text")
 			fs.StringVar(&cacheDir, "cache", "", "content-addressed result cache directory shared by all campaigns (adds resultstore_* metrics)")
+			fs.BoolVar(&traceOn, "trace", true, "record campaign spans (runs/<id>/spans.jsonl and GET /campaigns/{id}/spans)")
 		},
 		Run: func(fs *flag.FlagSet) error {
 			var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -84,6 +87,7 @@ func serveCommand() *cli.Command {
 				SpecExpander:   config.ExpandBytes,
 				Cache:          cache,
 				CodeVersion:    version.String(),
+				TraceSpans:     traceOn,
 			})
 
 			mux := http.NewServeMux()

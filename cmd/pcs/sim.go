@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	"repro/internal/cli"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/expers"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/version"
 )
@@ -35,6 +37,8 @@ func simCommand() *cli.Command {
 		quiet    bool
 		timeline string
 		workers  int
+		runsRoot string
+		traceOn  bool
 		cacheDir string
 	)
 	return &cli.Command{
@@ -53,6 +57,8 @@ func simCommand() *cli.Command {
 			fs.BoolVar(&quiet, "q", false, "suppress per-run progress lines")
 			fs.StringVar(&timeline, "timeline", "", "with -bench: write the DPCS policy timeline to this JSONL file")
 			fs.IntVar(&workers, "workers", runtime.GOMAXPROCS(0), "parallel simulations for the full grid (results are identical at any worker count)")
+			fs.StringVar(&runsRoot, "runs", "", "archive grid campaign records under this directory (e.g. runs)")
+			fs.BoolVar(&traceOn, "trace", false, "with -runs: record campaign trace spans (spans.jsonl, for pcs report -perfetto/-top)")
 			fs.StringVar(&cacheDir, "cache", "", "content-addressed result cache directory (memoizes grid cells across runs)")
 		},
 		Run: func(fs *flag.FlagSet) error {
@@ -110,6 +116,12 @@ func simCommand() *cli.Command {
 			if timeline != "" && bench == "" {
 				return fmt.Errorf("-timeline needs -bench (it records one DPCS run)")
 			}
+			if traceOn && runsRoot == "" {
+				return fmt.Errorf("-trace needs -runs (spans.jsonl lives next to the campaign records)")
+			}
+			if runsRoot != "" && bench != "" {
+				return fmt.Errorf("-runs records the full grid; it cannot combine with -bench")
+			}
 			cache, err := openCache(cacheDir)
 			if err != nil {
 				return err
@@ -127,12 +139,22 @@ func simCommand() *cli.Command {
 					fmt.Fprintf(progress, "config %s: %d benchmarks x 3 modes, %d instr each, %d workers\n",
 						cfg.Name, len(trace.Suite()), opts.SimInstr, workers)
 				}
-				data, stats, err := expers.Fig4Grid(context.Background(), cfg, opts, expers.GridOptions{
+				gopts := expers.GridOptions{
 					Workers:     workers,
 					Progress:    progress,
 					Cache:       cache,
 					CodeVersion: version.String(),
-				})
+				}
+				if runsRoot != "" {
+					dir, err := runner.NewRunDir(filepath.Join(runsRoot, "fig4-"+cfg.Name))
+					if err != nil {
+						return err
+					}
+					gopts.ArtifactDir = dir
+					gopts.TraceSpans = traceOn
+					fmt.Fprintf(os.Stderr, "pcs sim: config %s: recording campaign in %s\n", cfg.Name, dir)
+				}
+				data, stats, err := expers.Fig4Grid(context.Background(), cfg, opts, gopts)
 				total.Cells += stats.Cells
 				total.Cached += stats.Cached
 				total.Computed += stats.Computed

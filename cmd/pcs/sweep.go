@@ -34,6 +34,7 @@ func sweepCommand() *cli.Command {
 		runsRoot string
 		progress bool
 		timeline bool
+		traceOn  bool
 		cacheDir string
 	)
 	summaries := map[string]string{
@@ -61,6 +62,7 @@ func sweepCommand() *cli.Command {
 			fs.StringVar(&runsRoot, "runs", "", "archive campaign records under this directory (e.g. runs)")
 			fs.BoolVar(&progress, "progress", false, "log campaign progress to stderr")
 			fs.BoolVar(&timeline, "timeline", false, "with -runs: record per-job DPCS policy timelines (policy-<index>.jsonl)")
+			fs.BoolVar(&traceOn, "trace", false, "with -runs: record campaign trace spans (spans.jsonl, for pcs report -perfetto/-top)")
 			fs.StringVar(&cacheDir, "cache", "", "content-addressed result cache directory (memoizes study cells across runs)")
 		},
 		Run: func(fs *flag.FlagSet) error {
@@ -103,6 +105,9 @@ func sweepCommand() *cli.Command {
 			if timeline && runsRoot == "" {
 				return fmt.Errorf("-timeline needs -runs (per-job timelines live next to the campaign records)")
 			}
+			if traceOn && runsRoot == "" {
+				return fmt.Errorf("-trace needs -runs (spans.jsonl lives next to the campaign records)")
+			}
 			cache, err := openCache(cacheDir)
 			if err != nil {
 				return err
@@ -114,6 +119,7 @@ func sweepCommand() *cli.Command {
 				runsRoot: runsRoot,
 				progress: progress,
 				timeline: timeline,
+				trace:    traceOn,
 				cache:    cache,
 			}
 			// Canonical order regardless of selection order.
@@ -162,6 +168,7 @@ type sweepHarness struct {
 	runsRoot string
 	progress bool
 	timeline bool
+	trace    bool
 	cache    runner.ResultCache
 
 	cells, cached, computed, failed int
@@ -185,6 +192,7 @@ func (h *sweepHarness) runCampaign(name string, seed uint64, jobs []runner.Spec)
 			return nil, err
 		}
 		opts.ArtifactDir = dir
+		opts.TraceSpans = h.trace
 	}
 	if h.progress {
 		opts.OnProgress = func(p runner.Progress) {

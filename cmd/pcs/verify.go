@@ -48,6 +48,9 @@ func verifyCommand() *cli.Command {
 			fmt.Printf("  code version %s\n", orUnknown(rep.Manifest.CodeVersion))
 			fmt.Printf("  specs digest %s\n", rep.Manifest.SpecsDigest)
 			fmt.Printf("  results digest %s\n", rep.Summary.ResultsDigest)
+			for _, sc := range rep.Sidecars {
+				fmt.Printf("  sidecar %s: %d bytes, digest %s\n", sc.Name, sc.Bytes, sc.Digest)
+			}
 			if recompute > 0 {
 				if err := recomputeSample(dir, rep, recompute); err != nil {
 					return err

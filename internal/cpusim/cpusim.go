@@ -29,6 +29,7 @@ import (
 	"repro/internal/faultmap"
 	"repro/internal/faultmodel"
 	"repro/internal/obs"
+	"repro/internal/obs/tracez"
 	"repro/internal/sram"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -409,11 +410,19 @@ func Run(cfg SystemConfig, mode core.Mode, w trace.Workload, opts RunOptions) (R
 // and abandon the simulation mid-flight with ctx's error when it is
 // cancelled, so a cancelled campaign does not run to completion.
 func RunContext(ctx context.Context, cfg SystemConfig, mode core.Mode, w trace.Workload, opts RunOptions) (Result, error) {
+	parent := tracez.SpanFromContext(ctx)
+	bsp := parent.Child("sim.build")
 	sys, err := NewSystem(cfg, mode, opts.Seed)
+	bsp.SetStr("config", cfg.Name)
+	bsp.SetStr("mode", mode.String())
+	bsp.End()
 	if err != nil {
 		return Result{}, err
 	}
+	gsp := parent.Child("sim.tracegen")
 	gen, err := trace.New(w, opts.Seed)
+	gsp.SetStr("workload", w.Name)
+	gsp.End()
 	if err != nil {
 		return Result{}, err
 	}
@@ -428,7 +437,11 @@ func RunGenerator(cfg SystemConfig, mode core.Mode, gen trace.Generator, opts Ru
 
 // RunGeneratorContext is RunGenerator with cancellation (see RunContext).
 func RunGeneratorContext(ctx context.Context, cfg SystemConfig, mode core.Mode, gen trace.Generator, opts RunOptions) (Result, error) {
+	bsp := tracez.SpanFromContext(ctx).Child("sim.build")
 	sys, err := NewSystem(cfg, mode, opts.Seed)
+	bsp.SetStr("config", cfg.Name)
+	bsp.SetStr("mode", mode.String())
+	bsp.End()
 	if err != nil {
 		return Result{}, err
 	}
@@ -440,23 +453,65 @@ func RunGeneratorContext(ctx context.Context, cfg SystemConfig, mode core.Mode, 
 // invisible and fine-grained enough to stop a run within microseconds.
 const ctxCheckMask = 8192 - 1
 
+// transitionTracer wraps a PolicySink, recording every N-th controller
+// voltage transition as a dpcs.transition instant span under parent.
+// Interval-decision telemetry passes through untouched: spans stay
+// phase-granular, never per-event (transitions are rare; sampling is a
+// belt-and-braces bound for pathological thrashing configurations).
+type transitionTracer struct {
+	inner  obs.PolicySink
+	parent *tracez.Span
+	every  uint64
+	n      uint64
+}
+
+// Record implements obs.PolicySink.
+func (t *transitionTracer) Record(ev obs.PolicyEvent) {
+	if t.inner != nil {
+		t.inner.Record(ev)
+	}
+	if ev.Decision != obs.DecisionTransition {
+		return
+	}
+	t.n++
+	if t.n%t.every != 0 {
+		return
+	}
+	sp := t.parent.Child("dpcs.transition")
+	sp.SetStr("cache", ev.CacheName)
+	sp.SetInt("from", int64(ev.FromLevel))
+	sp.SetInt("to", int64(ev.ToLevel))
+	sp.SetInt("writebacks", int64(ev.Writebacks))
+	sp.SetUint("cycle", ev.Cycle)
+	sp.EndInstant()
+}
+
 // run drives a prepared system through warm-up and measurement.
 func (sys *System) run(ctx context.Context, gen trace.Generator, opts RunOptions) (Result, error) {
 	cfg := sys.cfg
 	mode := sys.mode
-	if opts.Sink != nil {
-		sys.SetSink(opts.Sink)
+	parent := tracez.SpanFromContext(ctx)
+	sink := opts.Sink
+	if tr := tracez.FromContext(ctx); tr != nil && parent != nil {
+		sink = &transitionTracer{inner: opts.Sink, parent: parent, every: uint64(tr.TransitionEveryN())}
+	}
+	if sink != nil {
+		sys.SetSink(sink)
 	}
 	sys.start()
 
+	wsp := parent.Child("sim.warmup")
+	wsp.SetUint("instructions", opts.WarmupInstr)
 	var ins trace.Instr
 	for i := uint64(0); i < opts.WarmupInstr; i++ {
 		if i&ctxCheckMask == 0 && ctx.Err() != nil {
+			wsp.End()
 			return Result{}, ctx.Err()
 		}
 		gen.Next(&ins)
 		sys.step(&ins)
 	}
+	wsp.End()
 	sys.armPolicies()
 	// Measurement marks.
 	startCycles := sys.cycles
@@ -476,14 +531,19 @@ func (sys *System) run(ctx context.Context, gen trace.Generator, opts RunOptions
 		sys.l2.ctrl.Transitions(),
 	}
 
+	msp := parent.Child("sim.measure")
+	msp.SetUint("instructions", opts.SimInstr)
 	for i := uint64(0); i < opts.SimInstr; i++ {
 		if i&ctxCheckMask == 0 && ctx.Err() != nil {
+			msp.End()
 			return Result{}, ctx.Err()
 		}
 		gen.Next(&ins)
 		sys.step(&ins)
 	}
+	msp.End()
 
+	esp := parent.Child("sim.energy")
 	cycles := sys.cycles - startCycles
 	res := Result{
 		Workload:     gen.Name(),
@@ -519,7 +579,18 @@ func (sys *System) run(ctx context.Context, gen trace.Generator, opts RunOptions
 	res.L1D = finish(sys.l1d, startE[1], startStats[1], startTrans[1])
 	res.L2 = finish(sys.l2, startE[2], startStats[2], startTrans[2])
 	res.TotalCacheEnergyJ = res.L1I.Energy.TotalJ + res.L1D.Energy.TotalJ + res.L2.Energy.TotalJ
+	esp.SetFloat("total_j", res.TotalCacheEnergyJ)
+	esp.End()
 	return res, nil
+}
+
+// ResourceCounts implements obs.ResourceCounter: the runner attributes
+// the run's voltage transitions and dirty writebacks to its job in the
+// timeline's resources block.
+func (r Result) ResourceCounts() (transitions int, writebacks uint64) {
+	transitions = r.L1I.Transitions + r.L1D.Transitions + r.L2.Transitions
+	writebacks = r.L1I.Stats.Writebacks + r.L1D.Stats.Writebacks + r.L2.Stats.Writebacks
+	return transitions, writebacks
 }
 
 // String gives a compact one-line summary of a result.

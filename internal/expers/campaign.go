@@ -164,6 +164,14 @@ type CPUSimOutput struct {
 	L2Transitions     int     `json:"l2_transitions"`
 }
 
+// ResourceCounts implements obs.ResourceCounter. The output document
+// records L2 transitions only (its schema predates attribution), so
+// writebacks report zero; fig4-cell jobs return cpusim.Result, which
+// carries the full counts.
+func (o CPUSimOutput) ResourceCounts() (transitions int, writebacks uint64) {
+	return o.L2Transitions, 0
+}
+
 func runCPUSimJob(ctx context.Context, seed uint64, params json.RawMessage) (any, error) {
 	var p CPUSimParams
 	if err := decodeParams(params, &p); err != nil {
@@ -281,6 +289,12 @@ type MulticoreOutput struct {
 	L2Transitions          int     `json:"l2_transitions"`
 	L2EnergyJ              float64 `json:"l2_energy_j"`
 	TotalCacheEnergyJ      float64 `json:"total_cache_energy_j"`
+}
+
+// ResourceCounts implements obs.ResourceCounter (writebacks are not in
+// this output schema; see CPUSimOutput.ResourceCounts).
+func (o MulticoreOutput) ResourceCounts() (transitions int, writebacks uint64) {
+	return o.L2Transitions, 0
 }
 
 func runMulticoreJob(ctx context.Context, seed uint64, params json.RawMessage) (any, error) {

@@ -156,6 +156,12 @@ type GridOptions struct {
 	Cache runner.ResultCache
 	// CodeVersion is the build identity for cache keys (version.String).
 	CodeVersion string
+	// ArtifactDir, when non-empty, archives the campaign there
+	// (manifest, timeline, results, ledger — see internal/runner).
+	ArtifactDir string
+	// TraceSpans records per-cell phase spans to <ArtifactDir>/spans.jsonl
+	// for `pcs report -perfetto` and `pcs report -top`.
+	TraceSpans bool
 }
 
 // GridStats is the cell accounting of one grid execution, for the
@@ -210,6 +216,8 @@ func Fig4GridWorkloads(ctx context.Context, cfg cpusim.SystemConfig, workloads [
 		Workers:     gopts.Workers,
 		Cache:       gopts.Cache,
 		CodeVersion: gopts.CodeVersion,
+		ArtifactDir: gopts.ArtifactDir,
+		TraceSpans:  gopts.TraceSpans,
 	}
 	if gopts.Progress != nil {
 		ropts.OnResult = func(r runner.JobResult) {

@@ -27,10 +27,12 @@ import (
 // FileName is the ledger's name inside a run directory.
 const FileName = "ledger.jsonl"
 
-// Entry types, in chain order: one manifest, n results, one summary.
+// Entry types, in chain order: one manifest, n results, zero or more
+// sidecars, one summary.
 const (
 	TypeManifest = "manifest"
 	TypeResult   = "result"
+	TypeSidecar  = "sidecar"
 	TypeSummary  = "summary"
 )
 
@@ -75,6 +77,17 @@ type Result struct {
 	// and uncached executions.
 	Cached bool   `json:"cached,omitempty"`
 	Digest string `json:"digest"`
+}
+
+// Sidecar is one wall-clock artifact entry body: a run-directory file
+// (timeline.jsonl, spans.jsonl) hash-chained into the ledger so `pcs
+// verify` covers every artifact, not just the deterministic results.
+// Sidecar entries sit between the results and the summary.
+type Sidecar struct {
+	// Name is the file's name inside the run directory.
+	Name   string `json:"name"`
+	Bytes  int64  `json:"bytes"`
+	Digest string `json:"digest"` // hex SHA-256 of the whole file
 }
 
 // Summary is the closing entry's body. ResultsDigest is the SHA-256 of

@@ -30,6 +30,9 @@ type Report struct {
 	Dir      string
 	Manifest Manifest
 	Results  []Result
+	// Sidecars lists the wall-clock artifacts (timeline.jsonl,
+	// spans.jsonl) the chain covers; their file digests were verified.
+	Sidecars []Sidecar
 	Summary  Summary
 	// Cached counts results the chain records as cache hits.
 	Cached int
@@ -73,21 +76,51 @@ func VerifyDir(dir string) (*Report, error) {
 	if err := json.Unmarshal(last.Body, &rep.Summary); err != nil {
 		return nil, fmt.Errorf("ledger: summary body: %w", err)
 	}
+	// Middle entries: all results first, then any sidecars. Runs from
+	// before sidecar chaining simply have none.
 	for _, e := range entries[1 : len(entries)-1] {
-		if e.Type != TypeResult {
-			return nil, fmt.Errorf("ledger: entry %d is %q, want %q", e.Seq, e.Type, TypeResult)
+		switch e.Type {
+		case TypeResult:
+			if len(rep.Sidecars) > 0 {
+				return nil, fmt.Errorf("ledger: entry %d: result after sidecar entries", e.Seq)
+			}
+			var r Result
+			if err := json.Unmarshal(e.Body, &r); err != nil {
+				return nil, fmt.Errorf("ledger: entry %d body: %w", e.Seq, err)
+			}
+			if r.Index != len(rep.Results) {
+				return nil, fmt.Errorf("ledger: entry %d: job index %d out of order", e.Seq, r.Index)
+			}
+			if r.Cached {
+				rep.Cached++
+			}
+			rep.Results = append(rep.Results, r)
+		case TypeSidecar:
+			var sc Sidecar
+			if err := json.Unmarshal(e.Body, &sc); err != nil {
+				return nil, fmt.Errorf("ledger: entry %d body: %w", e.Seq, err)
+			}
+			if sc.Name == "" || sc.Name != filepath.Base(sc.Name) {
+				return nil, fmt.Errorf("ledger: entry %d: bad sidecar name %q", e.Seq, sc.Name)
+			}
+			rep.Sidecars = append(rep.Sidecars, sc)
+		default:
+			return nil, fmt.Errorf("ledger: entry %d is %q, want %q or %q", e.Seq, e.Type, TypeResult, TypeSidecar)
 		}
-		var r Result
-		if err := json.Unmarshal(e.Body, &r); err != nil {
-			return nil, fmt.Errorf("ledger: entry %d body: %w", e.Seq, err)
+	}
+	// Every chained sidecar file must still match its recorded digest.
+	for _, sc := range rep.Sidecars {
+		data, err := os.ReadFile(filepath.Join(dir, sc.Name))
+		if err != nil {
+			return nil, fmt.Errorf("ledger: sidecar %s: %w", sc.Name, err)
 		}
-		if r.Index != len(rep.Results) {
-			return nil, fmt.Errorf("ledger: entry %d: job index %d out of order", e.Seq, r.Index)
+		if int64(len(data)) != sc.Bytes {
+			return nil, fmt.Errorf("ledger: sidecar %s is %d bytes, chain records %d", sc.Name, len(data), sc.Bytes)
 		}
-		if r.Cached {
-			rep.Cached++
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != sc.Digest {
+			return nil, fmt.Errorf("ledger: sidecar %s digest mismatch: file %.12s… vs chain %.12s… (artifact modified after the run)", sc.Name, got, sc.Digest)
 		}
-		rep.Results = append(rep.Results, r)
 	}
 	if rep.Manifest.Jobs != len(rep.Results) {
 		return nil, fmt.Errorf("ledger: manifest declares %d jobs but chain has %d result entries", rep.Manifest.Jobs, len(rep.Results))

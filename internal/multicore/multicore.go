@@ -31,6 +31,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cpusim"
+	"repro/internal/obs/tracez"
 	"repro/internal/trace"
 )
 
@@ -390,7 +391,12 @@ const ctxCheckMask = 2048 - 1
 // it is cancelled, so a cancelled campaign stops instead of running to
 // completion.
 func RunContext(ctx context.Context, cfg Config, mode core.Mode, w trace.Workload, warmupPerCore, instrPerCore, seed uint64) (Result, error) {
+	parent := tracez.SpanFromContext(ctx)
+	bsp := parent.Child("sim.build")
 	sys, err := newSystem(cfg, mode, w, seed)
+	bsp.SetInt("cores", int64(cfg.Cores))
+	bsp.SetStr("mode", mode.String())
+	bsp.End()
 	if err != nil {
 		return Result{}, err
 	}
@@ -409,9 +415,13 @@ func RunContext(ctx context.Context, cfg Config, mode core.Mode, w trace.Workloa
 		}
 		return nil
 	}
+	wsp := parent.Child("sim.warmup")
+	wsp.SetUint("instructions_per_core", warmupPerCore)
 	if err := interleave(warmupPerCore); err != nil {
+		wsp.End()
 		return Result{}, err
 	}
+	wsp.End()
 	sys.arm()
 
 	// Measurement marks.
@@ -431,10 +441,15 @@ func RunContext(ctx context.Context, cfg Config, mode core.Mode, w trace.Workloa
 	startInv := sys.cohInv
 	globalStart := sys.global
 
+	msp := parent.Child("sim.measure")
+	msp.SetUint("instructions_per_core", instrPerCore)
 	if err := interleave(instrPerCore); err != nil {
+		msp.End()
 		return Result{}, err
 	}
+	msp.End()
 
+	esp := parent.Child("sim.energy")
 	res := Result{Mode: mode}
 	var maxCycles uint64
 	for i, c := range sys.cores {
@@ -469,5 +484,19 @@ func RunContext(ctx context.Context, cfg Config, mode core.Mode, w trace.Workloa
 	res.L2Transitions = sys.l2.Transitions() - l2StartTrans
 	res.TotalCacheEnergyJ += res.L2EnergyJ
 	res.CoherenceInvalidations = sys.cohInv - startInv
+	esp.SetFloat("total_j", res.TotalCacheEnergyJ)
+	esp.End()
 	return res, nil
+}
+
+// ResourceCounts implements obs.ResourceCounter for the runner's
+// per-job attribution: shared-L2 voltage transitions plus writebacks
+// from every private L1 and the L2.
+func (r Result) ResourceCounts() (transitions int, writebacks uint64) {
+	transitions = r.L2Transitions
+	writebacks = r.L2.Writebacks
+	for _, c := range r.Cores {
+		writebacks += c.L1I.Writebacks + c.L1D.Writebacks
+	}
+	return transitions, writebacks
 }

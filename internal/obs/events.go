@@ -1,5 +1,12 @@
 package obs
 
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
 // JobEventType classifies one campaign lifecycle event.
 type JobEventType string
 
@@ -46,4 +53,66 @@ type JobEvent struct {
 	Cached bool `json:"cached,omitempty"`
 	// State is the campaign's terminal state (campaign_finished only).
 	State string `json:"state,omitempty"`
+	// Resources is the job's resource-attribution block (terminal job
+	// events only). Like Cached and DurationMS it lives in the
+	// timeline, never in result records, so results.jsonl stays
+	// byte-identical across worker counts and machines.
+	Resources *JobResources `json:"resources,omitempty"`
+}
+
+// JobResources attributes measured cost to one job: where the
+// campaign's wall time, CPU time and allocations actually went. CPU
+// time is the worker thread's rusage delta (Linux; zero elsewhere),
+// allocations are runtime/metrics heap deltas sampled on the worker
+// goroutine — exact for the serial portions of a job, approximate for
+// anything the job itself parallelises.
+type JobResources struct {
+	// WallMS is the job's wall-clock duration.
+	WallMS float64 `json:"wall_ms"`
+	// CPUMS is the worker OS thread's user+system CPU time over the
+	// job (RUSAGE_THREAD delta under runtime.LockOSThread).
+	CPUMS float64 `json:"cpu_ms"`
+	// Allocs and AllocBytes are heap allocation deltas over the job.
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// CacheHit/CacheMiss attribute the resultstore probe: exactly one
+	// is true when the job consulted the store, both false otherwise.
+	CacheHit  bool `json:"cache_hit,omitempty"`
+	CacheMiss bool `json:"cache_miss,omitempty"`
+	// Transitions and Writebacks summarise the simulator's DPCS
+	// activity when the job's output reports it (see ResourceCounter).
+	Transitions int    `json:"transitions,omitempty"`
+	Writebacks  uint64 `json:"writebacks,omitempty"`
+}
+
+// ResourceCounter is implemented by job outputs that can report their
+// simulator-side resource counts (DPCS transitions, writebacks) for
+// the timeline's attribution block. cpusim.Result implements it.
+type ResourceCounter interface {
+	ResourceCounts() (transitions int, writebacks uint64)
+}
+
+// ReadJobEvents decodes a timeline.jsonl stream.
+func ReadJobEvents(r io.Reader) ([]JobEvent, error) {
+	dec := json.NewDecoder(r)
+	var events []JobEvent
+	for {
+		var ev JobEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			return events, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: timeline event %d: %w", len(events), err)
+		}
+		events = append(events, ev)
+	}
+}
+
+// ReadJobTimeline reads a timeline.jsonl file.
+func ReadJobTimeline(path string) ([]JobEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	defer f.Close()
+	return ReadJobEvents(f)
 }

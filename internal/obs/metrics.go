@@ -29,9 +29,10 @@ type family struct {
 	label string // label dimension name; "" for a single unlabelled series
 
 	mu      sync.Mutex
-	series  map[string]any // label value -> *Counter / *Gauge / *Histogram
-	fn      func() float64 // gauge callback, when set
-	buckets []float64      // histogram upper bounds (ascending, no +Inf)
+	series  map[string]any            // label value -> *Counter / *Gauge / *Histogram
+	fn      func() float64            // gauge callback, when set
+	vecFn   func() map[string]float64 // labelled gauge callback, when set
+	buckets []float64                 // histogram upper bounds (ascending, no +Inf)
 }
 
 // NewRegistry returns an empty registry.
@@ -111,6 +112,39 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// counts by linear interpolation inside the target bucket — the same
+// estimate PromQL's histogram_quantile produces from the exposition.
+// It returns NaN for an empty histogram, and the last finite bucket
+// bound when the target rank falls in the +Inf overflow bucket (there
+// is no upper bound to interpolate toward).
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.count)
+	var cum uint64
+	for i, bound := range h.buckets {
+		inBucket := h.counts[i]
+		if float64(cum+inBucket) >= rank && inBucket > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = h.buckets[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(inBucket)
+			return lower + (bound-lower)*frac
+		}
+		cum += inBucket
+	}
+	// Overflow bucket: report the largest finite bound.
+	if len(h.buckets) == 0 {
+		return math.NaN()
+	}
+	return h.buckets[len(h.buckets)-1]
+}
+
 // Counter registers an unlabelled counter.
 func (r *Registry) Counter(name, help string) *Counter {
 	f := r.register(name, help, "counter", "", nil)
@@ -131,6 +165,18 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f := r.register(name, help, "gauge", "", nil)
 	f.fn = fn
+}
+
+// GaugeVecFunc registers a labelled gauge family whose series are
+// computed at scrape time: fn returns label value → gauge value. Used
+// for derived views over other families — e.g. the p50/p95/p99
+// summary gauges computed from job_duration_seconds histogram buckets.
+func (r *Registry) GaugeVecFunc(name, help, label string, fn func() map[string]float64) {
+	if label == "" {
+		panic("obs: GaugeVecFunc needs a label name")
+	}
+	f := r.register(name, help, "gauge", label, nil)
+	f.vecFn = fn
 }
 
 // CounterVec is a counter family with one label dimension.
@@ -188,6 +234,22 @@ func (v *HistogramVec) With(value string) *Histogram {
 	return h
 }
 
+// Quantiles returns each series' q-quantile, keyed by label value —
+// the shape GaugeVecFunc consumes.
+func (v *HistogramVec) Quantiles(q float64) map[string]float64 {
+	v.f.mu.Lock()
+	hs := make(map[string]*Histogram, len(v.f.series))
+	for k, s := range v.f.series {
+		hs[k] = s.(*Histogram)
+	}
+	v.f.mu.Unlock()
+	out := make(map[string]float64, len(hs))
+	for k, h := range hs {
+		out[k] = h.Quantile(q)
+	}
+	return out
+}
+
 // DefDurationBuckets returns the default seconds-scale latency buckets,
 // spanning millisecond jobs through minute-long simulation campaigns.
 func DefDurationBuckets() []float64 {
@@ -217,6 +279,21 @@ func (f *family) write(w io.Writer) error {
 	if f.fn != nil {
 		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatValue(f.fn()))
 		return err
+	}
+	if f.vecFn != nil {
+		vals := f.vecFn()
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "%s %s\n",
+				seriesName(f.name, f.label, k), formatValue(vals[k])); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	f.mu.Lock()
 	keys := make([]string, 0, len(f.series))

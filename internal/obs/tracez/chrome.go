@@ -1,0 +1,112 @@
+package tracez
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: converts spans.jsonl into the JSON object
+// format consumed by Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Interval spans become complete events (ph "X"), instants become
+// thread-scoped instant events (ph "i"). Tracks (tid) are assigned
+// from the span's "worker" attribute when present — so the Perfetto
+// view shows the actual worker-pool schedule — falling back to the
+// "job" attribute, then to track 0 for campaign-level bookkeeping.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level document.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTID picks the event's track from span attributes. JSON-decoded
+// attrs carry numbers as float64; live spans carry int64/uint64.
+func chromeTID(sp *Span) (int, bool) {
+	for _, key := range []string{"worker", "job"} {
+		v, ok := sp.Attrs[key]
+		if !ok {
+			continue
+		}
+		switch n := v.(type) {
+		case float64:
+			return int(n), key == "worker"
+		case int64:
+			return int(n), key == "worker"
+		case uint64:
+			return int(n), key == "worker"
+		case int:
+			return n, key == "worker"
+		}
+	}
+	return 0, false
+}
+
+// WriteChromeTrace renders spans as a Chrome trace-event JSON document.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(spans)+4)}
+	workers := make(map[int]bool)
+	for i := range spans {
+		sp := &spans[i]
+		tid, isWorker := chromeTID(sp)
+		if isWorker {
+			workers[tid] = true
+		}
+		ev := chromeEvent{
+			Name:  sp.Name,
+			Cat:   "pcs",
+			Phase: "X",
+			TS:    float64(sp.StartUnixNS) / 1e3,
+			Dur:   float64(sp.DurNS) / 1e3,
+			PID:   1,
+			TID:   tid,
+			Args:  sp.Attrs,
+		}
+		if sp.Kind == KindInstant {
+			ev.Phase = "i"
+			ev.Scope = "t"
+			ev.Dur = 0
+		} else {
+			// Keep the span/parent IDs findable in the Perfetto args pane,
+			// without mutating the caller's attribute maps.
+			args := make(map[string]any, len(sp.Attrs)+2)
+			for k, v := range sp.Attrs {
+				args[k] = v
+			}
+			args["span"] = sp.ID
+			if sp.Parent != "" {
+				args["parent"] = sp.Parent
+			}
+			ev.Args = args
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	// Thread-name metadata gives the worker tracks readable labels.
+	tids := make([]int, 0, len(workers))
+	for tid := range workers {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", Cat: "__metadata", PID: 1, TID: tid,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", tid)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -310,3 +310,43 @@ func TestStoreGC(t *testing.T) {
 		t.Errorf("unbounded GC: %+v", res)
 	}
 }
+
+func TestScrapeSizeBytesRefresh(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	b, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStore(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key1, _ := Key("cpusim", []byte(`{"a":1}`), 1, "test")
+	if err := s.Put(key1, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ScrapeSizeBytes(); got != 10 {
+		t.Fatalf("after Put: ScrapeSizeBytes=%d want 10", got)
+	}
+
+	// A second process writes to the same directory: the plain gauge
+	// value drifts, a TTL-expired scrape re-walks and catches up.
+	key2, _ := Key("cpusim", []byte(`{"a":2}`), 2, "test")
+	if err := b.Put(key2, []byte("01234")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SizeBytes(); got != 10 {
+		t.Fatalf("SizeBytes should not see external writes: %d", got)
+	}
+	// Within the TTL the scrape serves the cached value.
+	if got := s.ScrapeSizeBytes(); got != 10 {
+		t.Fatalf("scrape within TTL: %d want 10", got)
+	}
+	s.scrapeTTL = 0 // expire immediately
+	if got := s.ScrapeSizeBytes(); got != 15 {
+		t.Fatalf("scrape after TTL: %d want 15", got)
+	}
+	if got := s.entries.Load(); got != 2 {
+		t.Fatalf("entries after re-walk: %d want 2", got)
+	}
+}

@@ -2,6 +2,7 @@ package resultstore
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -23,7 +24,20 @@ type Store struct {
 	// writers make these approximate, which is fine for a gauge.
 	bytes   atomic.Int64
 	entries atomic.Int64
+
+	// Scrape refresh state: ScrapeSizeBytes re-walks the backend at most
+	// once per scrapeTTL so the gauge converges on the true footprint
+	// (picking up external writers and GC in other processes) without
+	// paying a directory walk on every scrape.
+	scrapeMu   sync.Mutex
+	scrapeLast time.Time
+	scrapeTTL  time.Duration
 }
+
+// defaultScrapeTTL bounds how often ScrapeSizeBytes re-walks the
+// backend. Prometheus-style scrapers typically poll every 10-60 s, so a
+// 10 s floor means at most one walk per scrape interval.
+const defaultScrapeTTL = 10 * time.Second
 
 // Open opens (creating if needed) a Store over a local directory
 // backend — the `-cache DIR` form every pcs subcommand accepts.
@@ -38,7 +52,7 @@ func Open(dir string) (*Store, error) {
 // NewStore wraps an arbitrary backend, priming the size accounting
 // from its current contents.
 func NewStore(b Backend) (*Store, error) {
-	s := &Store{backend: b}
+	s := &Store{backend: b, scrapeTTL: defaultScrapeTTL}
 	infos, err := b.Entries()
 	if err != nil {
 		return nil, err
@@ -86,6 +100,31 @@ func (s *Store) Put(key string, data []byte) error {
 // SizeBytes returns the approximate stored byte total; the server's
 // resultstore_bytes gauge reads it at scrape time.
 func (s *Store) SizeBytes() int64 { return s.bytes.Load() }
+
+// ScrapeSizeBytes is SizeBytes with freshness: at most once per TTL it
+// re-walks the backend and re-primes the byte/entry accounting, so a
+// scraped gauge tracks external writers and cross-process GC instead of
+// drifting for the life of the server. Walk errors fall back to the
+// last known value — a metrics scrape must never fail a campaign.
+func (s *Store) ScrapeSizeBytes() int64 {
+	s.scrapeMu.Lock()
+	stale := time.Since(s.scrapeLast) >= s.scrapeTTL
+	if stale {
+		s.scrapeLast = time.Now()
+	}
+	s.scrapeMu.Unlock()
+	if stale {
+		if infos, err := s.backend.Entries(); err == nil {
+			var bytes int64
+			for _, e := range infos {
+				bytes += e.Bytes
+			}
+			s.bytes.Store(bytes)
+			s.entries.Store(int64(len(infos)))
+		}
+	}
+	return s.bytes.Load()
+}
 
 // Stats is a point-in-time snapshot of the store. Entries/Bytes come
 // from an exact backend walk; the counters cover this process's

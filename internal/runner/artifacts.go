@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/ledger"
 	"repro/internal/obs"
+	"repro/internal/obs/tracez"
 )
 
 // Artifact layout (in the spirit of a paper run_all.sh workflow): each
@@ -23,16 +24,19 @@ import (
 //	results.jsonl   one JobResult per line, in job-index order
 //	summary.json    terminal counts and elapsed time
 //	timeline.jsonl  one obs.JobEvent per line, in wall-clock order
+//	spans.jsonl     one tracez.Span per line (Options.TraceSpans only)
 //	ledger.jsonl    hash-chained digests (see internal/ledger)
 //
 // results.jsonl is written from the deterministic per-job records only,
 // so two executions of the same campaign+seed produce byte-identical
-// files regardless of worker count. timeline.jsonl is the deliberate
-// exception: it records when each job started and finished, so it varies
-// run to run and is never an input to result comparison. ledger.jsonl
-// chains a digest of every results.jsonl line back to the spec digest,
-// seed and code version, so `pcs verify` can prove the directory's
-// integrity after the fact.
+// files regardless of worker count. timeline.jsonl and spans.jsonl are
+// the deliberate exceptions: they record when each job started and
+// finished (and what ran inside it), so they vary run to run and are
+// never an input to result comparison. ledger.jsonl chains a digest of
+// every results.jsonl line back to the spec digest, seed and code
+// version — and closes over the wall-clock sidecars with whole-file
+// digests — so `pcs verify` can prove the directory's integrity after
+// the fact.
 
 // NewRunDir creates and returns a fresh timestamped run directory under
 // root (e.g. "runs"). Collisions get a numeric suffix.
@@ -65,7 +69,10 @@ type manifest struct {
 	Jobs     int       `json:"jobs"`
 	Workers  int       `json:"workers"`
 	Created  time.Time `json:"created"`
-	Specs    []Spec    `json:"specs"`
+	// Sidecars lists the wall-clock artifacts this run will produce;
+	// each is hash-chained into ledger.jsonl at finish.
+	Sidecars []string `json:"sidecars,omitempty"`
+	Specs    []Spec   `json:"specs"`
 }
 
 type artifactStore struct {
@@ -84,13 +91,23 @@ type artifactStore struct {
 	tenc  *json.Encoder
 	terr  error
 	start time.Time
+
+	// spans is the spans.jsonl sink, nil unless tracing is enabled.
+	spans *tracez.JSONL
+	// sidecars names the wall-clock artifacts (in write order) listed
+	// in the manifest and hash-chained into the ledger at finish.
+	sidecars []string
 }
 
 // newArtifactStore creates dir if needed, writes the manifest and opens
-// the timeline.
-func newArtifactStore(dir string, c Campaign, workers int, codeVersion string) (*artifactStore, error) {
+// the timeline (and, with tracing, the span sidecar).
+func newArtifactStore(dir string, c Campaign, workers int, codeVersion string, traceSpans bool) (*artifactStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runner: artifact dir: %w", err)
+	}
+	sidecars := []string{"timeline.jsonl"}
+	if traceSpans {
+		sidecars = append(sidecars, tracez.FileName)
 	}
 	m := manifest{
 		Campaign: c.Name,
@@ -98,6 +115,7 @@ func newArtifactStore(dir string, c Campaign, workers int, codeVersion string) (
 		Jobs:     len(c.Jobs),
 		Workers:  workers,
 		Created:  time.Now().UTC(),
+		Sidecars: sidecars,
 		Specs:    c.Jobs,
 	}
 	if err := writeJSON(filepath.Join(dir, "manifest.json"), m); err != nil {
@@ -111,11 +129,42 @@ func newArtifactStore(dir string, c Campaign, workers int, codeVersion string) (
 		dir: dir, campaign: c.Name,
 		c: c, workers: workers, codeVersion: codeVersion,
 		tf: tf, start: time.Now(),
+		sidecars: sidecars,
 	}
 	a.tw = bufio.NewWriter(tf)
 	a.tenc = json.NewEncoder(a.tw)
+	if traceSpans {
+		a.spans, err = tracez.CreateJSONL(filepath.Join(dir, tracez.FileName))
+		if err != nil {
+			tf.Close()
+			return nil, fmt.Errorf("runner: %s: %w", tracez.FileName, err)
+		}
+	}
 	a.event(obs.JobEvent{Type: obs.EventCampaignStarted, Campaign: c.Name, Index: -1})
 	return a, nil
+}
+
+// SyncArtifacts flushes and fsyncs the buffered wall-clock sidecars so
+// a process killed right after (server drain, cancellation) leaves
+// whole lines on disk. Implements ArtifactSyncer.
+func (a *artifactStore) SyncArtifacts() error {
+	a.tmu.Lock()
+	err := a.terr
+	if a.tf != nil {
+		if ferr := a.tw.Flush(); ferr != nil && err == nil {
+			err = fmt.Errorf("runner: flush timeline.jsonl: %w", ferr)
+		}
+		if serr := a.tf.Sync(); serr != nil && err == nil {
+			err = fmt.Errorf("runner: fsync timeline.jsonl: %w", serr)
+		}
+	}
+	a.tmu.Unlock()
+	if a.spans != nil {
+		if serr := a.spans.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 // event appends one timeline line, stamping the elapsed offset. Write
@@ -123,7 +172,7 @@ func newArtifactStore(dir string, c Campaign, workers int, codeVersion string) (
 func (a *artifactStore) event(ev obs.JobEvent) {
 	a.tmu.Lock()
 	defer a.tmu.Unlock()
-	if a.terr != nil {
+	if a.terr != nil || a.tf == nil {
 		return
 	}
 	ev.ElapsedMS = float64(time.Since(a.start).Microseconds()) / 1e3
@@ -154,6 +203,7 @@ func (a *artifactStore) jobFinished(r JobResult) {
 		Error:      r.Error,
 		DurationMS: float64(r.Duration.Microseconds()) / 1e3,
 		Cached:     r.Cached,
+		Resources:  r.Resources,
 	})
 }
 
@@ -175,17 +225,25 @@ func (a *artifactStore) closeTimeline(res *CampaignResult) error {
 	if err := a.tf.Close(); err != nil && a.terr == nil {
 		a.terr = fmt.Errorf("runner: close timeline.jsonl: %w", err)
 	}
+	// Late SyncArtifacts calls (a drain racing campaign completion)
+	// must not flush into a closed file.
+	a.tf = nil
 	return a.terr
 }
 
-// finish closes the timeline and writes results.jsonl (index order),
-// summary.json and the hash-chained ledger.jsonl. It runs on every
-// campaign exit — including cancellation — so a cancelled run still
-// leaves a closed, verifiable chain.
-func (a *artifactStore) finish(results []JobResult, res *CampaignResult) error {
+// finish closes the timeline and span sidecars, writes results.jsonl
+// (index order), summary.json and the hash-chained ledger.jsonl. It
+// runs on every campaign exit — including cancellation — so a
+// cancelled run still leaves a closed, verifiable chain. The tracer
+// (nil when tracing is off) times the bookkeeping itself; note the
+// ledger.append span can no longer land in spans.jsonl — the sidecar
+// is already hashed by then — so it reaches only live sinks (the
+// server's span stream).
+func (a *artifactStore) finish(results []JobResult, res *CampaignResult, tracer *tracez.Tracer) error {
 	if err := a.closeTimeline(res); err != nil {
 		return err
 	}
+	wspan := tracer.StartRoot("results.write")
 	f, err := os.Create(filepath.Join(a.dir, "results.jsonl"))
 	if err != nil {
 		return fmt.Errorf("runner: results.jsonl: %w", err)
@@ -216,6 +274,8 @@ func (a *artifactStore) finish(results []JobResult, res *CampaignResult) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("runner: close results.jsonl: %w", err)
 	}
+	wspan.SetInt("jobs", int64(len(results)))
+	wspan.End()
 	summary := struct {
 		Done      int           `json:"done"`
 		Failed    int           `json:"failed"`
@@ -225,12 +285,45 @@ func (a *artifactStore) finish(results []JobResult, res *CampaignResult) error {
 	if err := writeJSON(filepath.Join(a.dir, "summary.json"), summary); err != nil {
 		return err
 	}
-	return a.writeLedger(results, res, lineDigests, hex.EncodeToString(fileHash.Sum(nil)))
+	// Seal the span sidecar, then digest every sidecar for the ledger.
+	if a.spans != nil {
+		if err := a.spans.Close(); err != nil {
+			return err
+		}
+	}
+	sidecars := make([]ledger.Sidecar, 0, len(a.sidecars))
+	for _, name := range a.sidecars {
+		sc, err := fileSidecar(a.dir, name)
+		if err != nil {
+			return err
+		}
+		sidecars = append(sidecars, sc)
+	}
+	lspan := tracer.StartRoot("ledger.append")
+	err = a.writeLedger(results, res, lineDigests, hex.EncodeToString(fileHash.Sum(nil)), sidecars)
+	lspan.SetInt("entries", int64(len(results)+len(sidecars)+2))
+	lspan.End()
+	return err
+}
+
+// fileSidecar digests one run-directory file for its ledger entry.
+func fileSidecar(dir, name string) (ledger.Sidecar, error) {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return ledger.Sidecar{}, fmt.Errorf("runner: sidecar %s: %w", name, err)
+	}
+	sum := sha256.Sum256(data)
+	return ledger.Sidecar{
+		Name:   name,
+		Bytes:  int64(len(data)),
+		Digest: hex.EncodeToString(sum[:]),
+	}, nil
 }
 
 // writeLedger emits the hash chain closing over the campaign's spec
-// digest, seed, code version and every result digest.
-func (a *artifactStore) writeLedger(results []JobResult, res *CampaignResult, lineDigests []string, resultsDigest string) error {
+// digest, seed, code version, every result digest and the wall-clock
+// sidecar digests.
+func (a *artifactStore) writeLedger(results []JobResult, res *CampaignResult, lineDigests []string, resultsDigest string, sidecars []ledger.Sidecar) error {
 	specsRaw, err := json.Marshal(a.c.Jobs)
 	if err != nil {
 		return fmt.Errorf("runner: marshal specs for ledger: %w", err)
@@ -267,6 +360,12 @@ func (a *artifactStore) writeLedger(results []JobResult, res *CampaignResult, li
 			Cached: r.Cached,
 			Digest: lineDigests[i],
 		})
+	}
+	for _, sc := range sidecars {
+		if err != nil {
+			break
+		}
+		err = lw.Append(ledger.TypeSidecar, sc)
 	}
 	if err == nil {
 		err = lw.Append(ledger.TypeSummary, ledger.Summary{

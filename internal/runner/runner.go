@@ -30,6 +30,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/obs/tracez"
 	"repro/internal/resultstore"
 	"repro/internal/stats"
 )
@@ -99,6 +101,10 @@ type JobResult struct {
 	// byte-identically. Cache provenance is recorded in timeline.jsonl
 	// and ledger.jsonl.
 	Cached bool `json:"-"`
+	// Resources is the job's measured resource-attribution block (CPU
+	// time, allocations, cache probe outcome). Excluded from JSON like
+	// Duration: it is wall-clock data and belongs to the timeline.
+	Resources *obs.JobResources `json:"-"`
 }
 
 // Progress is a snapshot of a running campaign.
@@ -153,6 +159,28 @@ type Options struct {
 	// ledger. Empty is allowed but conflates builds; the pcs CLI always
 	// passes version.String().
 	CodeVersion string
+	// TraceSpans enables span tracing: with an ArtifactDir the run
+	// gains a spans.jsonl sidecar (hash-chained into the ledger), and
+	// the campaign/job/phase span tree is delivered to SpanSink if one
+	// is installed. Off by default: the disabled path costs zero
+	// allocations (see internal/obs/tracez) and results.jsonl is
+	// byte-identical either way.
+	TraceSpans bool
+	// SpanSink, when non-nil (and TraceSpans is set), additionally
+	// receives every finished span live — the server uses it to feed
+	// GET /campaigns/{id}/spans while the campaign runs.
+	SpanSink tracez.Sink
+	// OnArtifacts, when non-nil, is called once with the run's artifact
+	// store before any job starts, so callers can flush-and-fsync the
+	// wall-clock sidecars on demand (server drain).
+	OnArtifacts func(ArtifactSyncer)
+}
+
+// ArtifactSyncer flushes buffered artifact sidecars (timeline.jsonl,
+// spans.jsonl) to durable storage. Safe for concurrent use with the
+// writers.
+type ArtifactSyncer interface {
+	SyncArtifacts() error
 }
 
 // CampaignResult is the outcome of a campaign execution.
@@ -203,9 +231,46 @@ func Run(ctx context.Context, reg *Registry, c Campaign, opts Options) (*Campaig
 	var store *artifactStore
 	if opts.ArtifactDir != "" {
 		var err error
-		store, err = newArtifactStore(opts.ArtifactDir, c, workers, opts.CodeVersion)
+		store, err = newArtifactStore(opts.ArtifactDir, c, workers, opts.CodeVersion, opts.TraceSpans)
 		if err != nil {
 			return nil, err
+		}
+		if opts.OnArtifacts != nil {
+			opts.OnArtifacts(store)
+		}
+		// Killed or cancelled runs must never leave torn sidecar lines:
+		// flush and fsync the moment the context dies, without waiting
+		// for workers to notice.
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = store.SyncArtifacts()
+			case <-watchDone:
+			}
+		}()
+	}
+
+	// Span tracing: the tracer tees into the run directory's
+	// spans.jsonl (if any) and the caller's live sink (if any). A nil
+	// tracer costs nothing at the instrumentation sites.
+	var tracer *tracez.Tracer
+	if opts.TraceSpans {
+		var sinks []tracez.Sink
+		if store != nil && store.spans != nil {
+			sinks = append(sinks, store.spans)
+		}
+		if opts.SpanSink != nil {
+			sinks = append(sinks, opts.SpanSink)
+		}
+		switch len(sinks) {
+		case 0:
+			// Tracing on but nowhere to deliver: leave the tracer nil.
+		case 1:
+			tracer = tracez.New(sinks[0], tracez.Options{})
+		default:
+			tracer = tracez.New(tracez.Tee(sinks...), tracez.Options{})
 		}
 	}
 
@@ -246,9 +311,22 @@ func Run(ctx context.Context, reg *Registry, c Campaign, opts Options) (*Campaig
 		}
 	}
 
+	// The campaign span roots the trace; job spans parent under it via
+	// the context the workers share.
+	ctxJobs := ctx
+	var campSpan *tracez.Span
+	if tracer != nil {
+		ctxJobs = tracez.ContextWith(ctx, tracer)
+		ctxJobs, campSpan = tracer.Start(ctxJobs, "campaign")
+		campSpan.SetStr("campaign", c.Name)
+		campSpan.SetUint("seed", c.Seed)
+		campSpan.SetInt("jobs", int64(len(c.Jobs)))
+		campSpan.SetInt("workers", int64(workers))
+	}
+
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range indices {
 				mu.Lock()
@@ -260,10 +338,10 @@ func Run(ctx context.Context, reg *Registry, c Campaign, opts Options) (*Campaig
 				if store != nil {
 					store.jobStarted(i, c.Jobs[i])
 				}
-				results[i] = runJob(ctx, reg, c, i, opts)
+				results[i] = runJob(ctxJobs, reg, c, i, worker, opts)
 				finish(results[i])
 			}
-		}()
+		}(w)
 	}
 feed:
 	for i := range c.Jobs {
@@ -300,9 +378,15 @@ feed:
 			res.Cancelled++
 		}
 	}
+	if campSpan != nil {
+		campSpan.SetInt("done", int64(res.Done))
+		campSpan.SetInt("failed", int64(res.Failed))
+		campSpan.SetInt("cancelled", int64(res.Cancelled))
+		campSpan.End()
+	}
 	if store != nil {
 		res.ArtifactDir = store.dir
-		if err := store.finish(results, res); err != nil {
+		if err := store.finish(results, res, tracer); err != nil {
 			return res, err
 		}
 	}
@@ -314,9 +398,23 @@ feed:
 
 // runJob executes one job with panic isolation: a panicking kind
 // function marks its own job failed instead of killing the campaign.
-func runJob(ctx context.Context, reg *Registry, c Campaign, i int, opts Options) (res JobResult) {
+// It also owns the job's observability: a job span (child of the
+// campaign span when tracing is on, nothing otherwise) with cache
+// probe / store write children, and the resource-attribution probe
+// whose block rides the job's terminal timeline event.
+func runJob(ctx context.Context, reg *Registry, c Campaign, i, worker int, opts Options) (res JobResult) {
 	spec := c.Jobs[i]
 	res = JobResult{Index: i, Kind: spec.Kind, Name: spec.Name, Seed: JobSeed(c.Seed, i)}
+	tr := tracez.FromContext(ctx)
+	ctx, span := tr.Start(ctx, "job")
+	span.SetInt("job", int64(i))
+	span.SetStr("kind", spec.Kind)
+	if spec.Name != "" {
+		span.SetStr("name", spec.Name)
+	}
+	span.SetUint("seed", res.Seed)
+	span.SetInt("worker", int64(worker))
+	probe := startResourceProbe()
 	jobStart := time.Now()
 	defer func() {
 		res.Duration = time.Since(jobStart)
@@ -325,6 +423,17 @@ func runJob(ctx context.Context, reg *Registry, c Campaign, i int, opts Options)
 			res.Output = nil
 			res.Error = fmt.Sprintf("panic: %v\n%s", p, debug.Stack())
 		}
+		r := probe.stop(res.Duration)
+		r.CacheHit = res.Cached
+		if rc, ok := res.Output.(obs.ResourceCounter); ok {
+			r.Transitions, r.Writebacks = rc.ResourceCounts()
+		}
+		res.Resources = r
+		span.SetStr("status", string(res.Status))
+		if res.Cached {
+			span.SetBool("cached", true)
+		}
+		span.End()
 	}()
 	if ctx.Err() != nil {
 		return cancelledResult(c, i)
@@ -341,8 +450,13 @@ func runJob(ctx context.Context, reg *Registry, c Campaign, i int, opts Options)
 		key, err := resultstore.Key(spec.Kind, spec.Params, effectiveSeed(info, spec.Params, res.Seed), opts.CodeVersion)
 		if err == nil {
 			cacheKey = key
-			if data, ok, _ := opts.Cache.Get(key); ok {
-				if out, err := info.DecodeOutput(data); err == nil {
+			psp := span.Child("cache.probe")
+			data, ok, _ := opts.Cache.Get(key)
+			if ok {
+				if out, derr := info.DecodeOutput(data); derr == nil {
+					psp.SetBool("hit", true)
+					psp.SetInt("bytes", int64(len(data)))
+					psp.End()
 					res.Status = StatusDone
 					res.Output = out
 					res.Cached = true
@@ -351,6 +465,9 @@ func runJob(ctx context.Context, reg *Registry, c Campaign, i int, opts Options)
 				// An undecodable entry (e.g. written by an incompatible
 				// build despite the version key) falls through to compute.
 			}
+			psp.SetBool("hit", false)
+			psp.End()
+			probe.cacheMiss = true
 		}
 	}
 
@@ -371,7 +488,10 @@ func runJob(ctx context.Context, reg *Registry, c Campaign, i int, opts Options)
 		// Best effort: a Put failure leaves the result intact and the
 		// cell recomputable next time.
 		if data, err := json.Marshal(out); err == nil {
+			wsp := span.Child("store.write")
+			wsp.SetInt("bytes", int64(len(data)))
 			_ = opts.Cache.Put(cacheKey, data)
+			wsp.End()
 		}
 	}
 	return res

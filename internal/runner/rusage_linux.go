@@ -1,0 +1,25 @@
+//go:build linux
+
+package runner
+
+import (
+	"syscall"
+	"time"
+)
+
+// rusageThread is RUSAGE_THREAD, which package syscall does not
+// export; it asks for the calling thread's counters only — correct
+// here because the resource probe holds runtime.LockOSThread for the
+// job's duration.
+const rusageThread = 1
+
+// threadCPUTime returns the calling OS thread's user+system CPU time.
+func threadCPUTime() (time.Duration, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(rusageThread, &ru); err != nil {
+		return 0, false
+	}
+	user := time.Duration(ru.Utime.Sec)*time.Second + time.Duration(ru.Utime.Usec)*time.Microsecond
+	sys := time.Duration(ru.Stime.Sec)*time.Second + time.Duration(ru.Stime.Usec)*time.Microsecond
+	return user + sys, true
+}

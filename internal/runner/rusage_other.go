@@ -1,0 +1,12 @@
+//go:build !linux
+
+package runner
+
+import "time"
+
+// threadCPUTime is unavailable off Linux (no portable per-thread
+// rusage); jobs report zero CPU time and the top-cells view falls back
+// to wall time.
+func threadCPUTime() (time.Duration, bool) {
+	return 0, false
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracez"
 )
 
 // Server turns the campaign runner into an HTTP job service — the
@@ -56,6 +57,9 @@ type Server struct {
 	// compute each cell once.
 	cache       ResultCache
 	codeVersion string
+	// traceSpans enables per-campaign span tracing: spans.jsonl in the
+	// run directory plus the live GET /campaigns/{id}/spans stream.
+	traceSpans bool
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -100,6 +104,10 @@ type ServerOptions struct {
 	// CodeVersion is the build identity recorded in run ledgers and
 	// mixed into cache keys; see Options.CodeVersion.
 	CodeVersion string
+	// TraceSpans enables span tracing for every campaign (see
+	// Options.TraceSpans): run directories gain spans.jsonl and
+	// GET /campaigns/{id}/spans streams the live span tree.
+	TraceSpans bool
 }
 
 // serverMetrics wires the server's obs.Registry families. Counters are
@@ -129,7 +137,7 @@ type serverMetrics struct {
 
 func newServerMetrics() *serverMetrics {
 	r := obs.NewRegistry()
-	return &serverMetrics{
+	m := &serverMetrics{
 		reg:            r,
 		campaignsTotal: r.Counter("pcs_campaigns_total", "Campaigns submitted since server start."),
 		campaignsRunning: r.Gauge("pcs_campaigns_running",
@@ -146,18 +154,39 @@ func newServerMetrics() *serverMetrics {
 		jobErrors: r.CounterVec("pcs_job_errors_total",
 			"Failed jobs by campaign kind.", "kind"),
 	}
+	// Quantile summary lines derived from the histogram buckets at
+	// scrape time, so dashboards get p50/p95/p99 without PromQL.
+	for _, q := range []struct {
+		name string
+		q    float64
+	}{
+		{"pcs_job_duration_seconds_p50", 0.50},
+		{"pcs_job_duration_seconds_p95", 0.95},
+		{"pcs_job_duration_seconds_p99", 0.99},
+	} {
+		quant := q.q
+		r.GaugeVecFunc(q.name,
+			fmt.Sprintf("Job duration quantile (q=%g) by kind, interpolated from pcs_job_duration_seconds buckets at scrape time.", quant),
+			"kind", func() map[string]float64 { return m.jobDuration.Quantiles(quant) })
+	}
+	return m
 }
 
 // enableCache registers the result-store families. The bytes gauge is
-// scrape-time: caches exposing SizeBytes (resultstore.Store does)
-// report their footprint, others report 0.
+// scrape-time: caches exposing ScrapeSizeBytes (resultstore.Store
+// does) re-walk the backend on scrape — so external writers to a
+// shared store show up — with plain SizeBytes (write-maintained) as
+// the fallback; others report 0.
 func (m *serverMetrics) enableCache(cache ResultCache) {
 	m.cacheHits = m.reg.Counter("resultstore_hits_total",
 		"Campaign cells served from the content-addressed result store.")
 	m.cacheMisses = m.reg.Counter("resultstore_misses_total",
 		"Campaign cells computed because the result store had no entry.")
 	m.reg.GaugeFunc("resultstore_bytes",
-		"Approximate bytes stored in the result store.", func() float64 {
+		"Bytes stored in the result store, refreshed on scrape.", func() float64 {
+			if fresh, ok := cache.(interface{ ScrapeSizeBytes() int64 }); ok {
+				return float64(fresh.ScrapeSizeBytes())
+			}
 			if sized, ok := cache.(interface{ SizeBytes() int64 }); ok {
 				return float64(sized.SizeBytes())
 			}
@@ -183,6 +212,14 @@ type campaignState struct {
 	// in the same critical section that sets the terminal state, so a
 	// reader observing a terminal state under mu sees the complete log.
 	events []obs.JobEvent
+	// spans is the append-only span log streamed by
+	// GET /campaigns/{id}/spans (TraceSpans servers only). Every span
+	// is recorded before Run returns, hence before the terminal state
+	// is set, so a reader observing a terminal state sees them all.
+	spans []tracez.Span
+	// syncer flushes the campaign's artifact sidecars; non-nil only
+	// while the campaign runs with an artifact directory.
+	syncer ArtifactSyncer
 }
 
 // addEvent appends one lifecycle event, stamping its campaign-relative
@@ -216,6 +253,7 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 		specExpander:   opts.SpecExpander,
 		cache:          opts.Cache,
 		codeVersion:    opts.CodeVersion,
+		traceSpans:     opts.TraceSpans,
 		baseCtx:        ctx,
 		stop:           cancel,
 		log:            log,
@@ -228,10 +266,27 @@ func NewServer(reg *Registry, opts ServerOptions) *Server {
 // BeginDrain flips the readiness probe to 503 without cancelling
 // anything: the serve loop calls it when a shutdown signal arrives, so
 // orchestrators stop routing traffic while in-flight requests and the
-// HTTP listener's graceful shutdown complete. Close still does the
-// actual teardown.
+// HTTP listener's graceful shutdown complete. It also flushes and
+// fsyncs every running campaign's artifact sidecars (timeline.jsonl,
+// spans.jsonl), so a kill after the grace period never truncates them
+// mid-line. Close still does the actual teardown.
 func (s *Server) BeginDrain() {
 	s.draining.Store(true)
+	s.mu.Lock()
+	syncers := make([]ArtifactSyncer, 0, len(s.campaigns))
+	for _, cs := range s.campaigns {
+		cs.mu.Lock()
+		if cs.syncer != nil {
+			syncers = append(syncers, cs.syncer)
+		}
+		cs.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, sy := range syncers {
+		if err := sy.SyncArtifacts(); err != nil {
+			s.log.Warn("drain sync artifacts", "err", err)
+		}
+	}
 }
 
 // Draining reports whether BeginDrain has been called (or the server
@@ -257,6 +312,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /campaigns/{id}/spans", s.handleSpans)
 	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -450,17 +506,34 @@ func (s *Server) execute(ctx context.Context, cs *campaignState) {
 			cs.addEvent(obs.JobEvent{Type: typ, Index: r.Index, Kind: r.Kind,
 				Name: r.Name, Error: r.Error,
 				DurationMS: float64(r.Duration.Microseconds()) / 1e3,
-				Cached:     r.Cached})
+				Cached:     r.Cached,
+				Resources:  r.Resources})
 		},
 		Cache:       s.cache,
 		CodeVersion: s.codeVersion,
 	}
 	if s.artifactRoot != "" {
 		opts.ArtifactDir = filepath.Join(s.artifactRoot, cs.id)
+		opts.OnArtifacts = func(a ArtifactSyncer) {
+			cs.mu.Lock()
+			cs.syncer = a
+			cs.mu.Unlock()
+		}
+	}
+	if s.traceSpans {
+		opts.TraceSpans = true
+		opts.SpanSink = tracez.SinkFunc(func(sp *tracez.Span) {
+			cs.mu.Lock()
+			cs.spans = append(cs.spans, *sp)
+			cs.mu.Unlock()
+		})
 	}
 	res, err := Run(ctx, s.reg, cs.campaign, opts)
 
 	cs.mu.Lock()
+	// The artifact store is closed once Run returns; drop the syncer so
+	// a late drain doesn't flush into closed files.
+	cs.syncer = nil
 	cs.finished = time.Now()
 	if res != nil {
 		// Cancellation marks never-dispatched jobs after Run returns;
@@ -620,6 +693,48 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if terminal {
 			// The finished event is appended under the same lock that set
 			// the terminal state, so the batch above was complete.
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(15 * time.Millisecond):
+		}
+	}
+}
+
+// handleSpans streams the campaign's spans as NDJSON (tracez.Span wire
+// format), following the live campaign like handleEvents until it
+// reaches a terminal state or the client disconnects. Every span is
+// recorded before the terminal state is set, so the final batch is
+// complete. On a server without TraceSpans the stream is empty and
+// closes as soon as the campaign finishes.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	cs := s.lookup(r.PathValue("id"))
+	if cs == nil {
+		httpError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		cs.mu.Lock()
+		batch := append([]tracez.Span(nil), cs.spans[sent:]...)
+		terminal := cs.state != "running"
+		cs.mu.Unlock()
+		for i := range batch {
+			if err := enc.Encode(&batch[i]); err != nil {
+				s.log.Warn("encode span stream", "campaign", cs.id, "err", err)
+				return
+			}
+			sent++
+		}
+		if len(batch) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
 			return
 		}
 		select {

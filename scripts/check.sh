@@ -22,6 +22,12 @@ go test -count=1 -run 'TestAccessZeroAllocs' ./internal/cache
 go test -count=1 -run 'TestPolicyTickZeroAllocs' ./internal/core
 go test -count=1 -run 'TestHotPathMetricsAllocFree' ./internal/obs
 
+# Tracing gates: the span API must cost nothing when tracing is off
+# (nil-tracer fast path), and a traced campaign must leave results.jsonl
+# byte-identical to an untraced one (DESIGN.md §11).
+go test -count=1 -run 'TestTracingOffZeroAllocs' ./internal/obs/tracez
+go test -count=1 -run 'TestTracingDoesNotChangeResults' ./internal/runner
+
 # Short-mode benchmark smoke run: one iteration of every benchmark so a
 # crashing or pathologically slow benchmark fails the gate; timings are
 # not archived here (that is `make bench`).
