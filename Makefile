@@ -35,13 +35,16 @@ check: vet race
 
 # Benchmark snapshot: runs every benchmark (the figure pipelines in the
 # root bench_test.go, the policy-tick hot path, the metrics registry)
-# once each with allocation stats, archives the test2json stream as a
-# new BENCH_<date>.json (never clobbering an existing snapshot), and
+# with allocation stats, archives the test2json stream as a new
+# BENCH_<date>.json (never clobbering an existing snapshot), and
 # prints the ns/op comparison against the most recent previous
-# snapshot. Raise BENCHTIME for steady-state numbers.
+# snapshot. The snapshot records BENCHTIME/BENCHCOUNT so comparisons
+# of unlike runs are flagged; BENCHTIME=2s BENCHCOUNT=3 gives
+# steady-state best-of numbers.
 BENCHTIME ?= 1x
+BENCHCOUNT ?= 1
 bench:
-	BENCHTIME=$(BENCHTIME) sh scripts/bench.sh
+	BENCHTIME=$(BENCHTIME) BENCHCOUNT=$(BENCHCOUNT) sh scripts/bench.sh
 
 # Golden runs, driven by the checked-in spec documents (DESIGN.md §9).
 # fig4 reproduces fig4_output.txt; sweep reproduces sweep_output.txt.

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profiler wires the standard -cpuprofile/-memprofile pprof flags into
+// a subcommand. Start begins CPU profiling (when requested) and returns
+// a stop function that finishes both profiles; call it exactly once,
+// typically deferred around the command body. Profile-write failures at
+// stop time are reported to stderr rather than failing the command:
+// the simulation results are the product, the profiles are diagnostics.
+type profiler struct {
+	cpu string
+	mem string
+}
+
+func (p *profiler) register(fs *flag.FlagSet) {
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	fs.StringVar(&p.mem, "memprofile", "", "write a pprof allocation profile to this file at exit")
+}
+
+func (p *profiler) start() (stop func(), err error) {
+	var cpuFile *os.File
+	if p.cpu != "" {
+		cpuFile, err = os.Create(p.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "pcs: cpuprofile: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "pcs: wrote CPU profile to %s\n", p.cpu)
+			}
+		}
+		if p.mem == "" {
+			return
+		}
+		f, err := os.Create(p.mem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcs: memprofile: %v\n", err)
+			return
+		}
+		runtime.GC() // materialise final allocation statistics
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "pcs: memprofile: %v\n", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "pcs: memprofile: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "pcs: wrote allocation profile to %s\n", p.mem)
+	}, nil
+}

@@ -40,6 +40,7 @@ func simCommand() *cli.Command {
 		runsRoot string
 		traceOn  bool
 		cacheDir string
+		prof     profiler
 	)
 	return &cli.Command{
 		Name:    "sim",
@@ -60,11 +61,17 @@ func simCommand() *cli.Command {
 			fs.StringVar(&runsRoot, "runs", "", "archive grid campaign records under this directory (e.g. runs)")
 			fs.BoolVar(&traceOn, "trace", false, "with -runs: record campaign trace spans (spans.jsonl, for pcs report -perfetto/-top)")
 			fs.StringVar(&cacheDir, "cache", "", "content-addressed result cache directory (memoizes grid cells across runs)")
+			prof.register(fs)
 		},
 		Run: func(fs *flag.FlagSet) error {
 			if configs {
 				return printConfigs(os.Stdout)
 			}
+			stopProf, err := prof.start()
+			if err != nil {
+				return err
+			}
+			defer stopProf()
 			if spec != "" {
 				doc, err := config.Load(spec)
 				if err != nil {

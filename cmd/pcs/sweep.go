@@ -36,6 +36,7 @@ func sweepCommand() *cli.Command {
 		timeline bool
 		traceOn  bool
 		cacheDir string
+		prof     profiler
 	)
 	summaries := map[string]string{
 		"assoc":   "sweep associativity and block size vs min-VDD",
@@ -64,8 +65,14 @@ func sweepCommand() *cli.Command {
 			fs.BoolVar(&timeline, "timeline", false, "with -runs: record per-job DPCS policy timelines (policy-<index>.jsonl)")
 			fs.BoolVar(&traceOn, "trace", false, "with -runs: record campaign trace spans (spans.jsonl, for pcs report -perfetto/-top)")
 			fs.StringVar(&cacheDir, "cache", "", "content-addressed result cache directory (memoizes study cells across runs)")
+			prof.register(fs)
 		},
 		Run: func(fs *flag.FlagSet) error {
+			stopProf, err := prof.start()
+			if err != nil {
+				return err
+			}
+			defer stopProf()
 			// Study selection: explicit flags beat the spec's list beats
 			// "all of them".
 			var selected []string

@@ -83,6 +83,19 @@ type Cache struct {
 
 	lruClock uint64
 	stats    Stats
+
+	// Last-hit memo: the block number and frame location of the most
+	// recently touched (hit or filled) frame. A repeat access to the
+	// same block skips the set probe entirely and applies the hit
+	// effects directly — sequential streams touch a 64 B block eight
+	// times in a row, so this is the common case. The memo frame is by
+	// construction valid and non-faulty; InvalidateFrame and SetFaulty
+	// (the only external mutators of frame state) drop the memo.
+	lastBlk uint64
+	lastIdx int
+	lastSet int
+	lastBit uint64
+	lastOK  bool
 }
 
 // Config describes a cache's geometry.
@@ -155,6 +168,11 @@ func (c *Cache) NumBlocks() int { return c.sets * c.ways }
 // Stats returns a copy of the accumulated statistics.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// Accesses returns the demand-access count alone, without copying the
+// whole Stats struct. The DPCS quiescence check polls it once per
+// access, so it must stay inlinable.
+func (c *Cache) Accesses() uint64 { return c.stats.Accesses }
+
 // ResetStats zeroes the statistics (contents are untouched).
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
@@ -195,6 +213,46 @@ type AccessResult struct {
 // the block is allocated (write-allocate) into the LRU non-faulty way,
 // evicting and possibly writing back the victim.
 func (c *Cache) Access(addr uint64, write bool) AccessResult {
+	// Repeat access to the memoized block: identical observable effects
+	// to the probe-loop hit in accessSlow, with the set/tag lookup
+	// skipped. The slow path is outlined so this wrapper stays within
+	// the inlining budget — sequential streams touch a block many times
+	// in a row, and the call overhead would otherwise dominate the hit.
+	if c.FastHit(addr, write) {
+		return AccessResult{Hit: true}
+	}
+	return c.AccessFull(addr, write)
+}
+
+// FastHit applies the memoized-hit path when addr repeats the most
+// recently touched block, returning whether it handled the access. Its
+// effects are identical to the probe-loop hit in accessSlow. It is
+// exported (and kept within the inlining budget) so simulator inner
+// loops can take the hit path without the AccessResult return-value
+// traffic of Access; calling Access directly remains equivalent.
+func (c *Cache) FastHit(addr uint64, write bool) bool {
+	if !c.lastOK || addr>>c.setShift != c.lastBlk {
+		return false
+	}
+	c.stats.Accesses++
+	c.stats.Hits++
+	if write {
+		c.stats.Writes++
+		c.dirty[c.lastSet] |= c.lastBit
+	} else {
+		c.stats.Reads++
+	}
+	c.lruClock++
+	c.lru[c.lastIdx] = c.lruClock
+	return true
+}
+
+// AccessFull is the full probe/miss path of Access. Callers that have
+// already tried FastHit (simulator inner loops) call it directly to
+// skip the wrapper; Access(addr, w) ≡ FastHit(addr, w) ? hit :
+// AccessFull(addr, w), and AccessFull alone is also a complete,
+// correct access — the fast path is purely an optimization.
+func (c *Cache) AccessFull(addr uint64, write bool) AccessResult {
 	c.stats.Accesses++
 	if write {
 		c.stats.Writes++
@@ -216,6 +274,11 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 			if write {
 				c.dirty[set] |= 1 << uint(w)
 			}
+			c.lastBlk = addr >> c.setShift
+			c.lastIdx = base + w
+			c.lastSet = set
+			c.lastBit = 1 << uint(w)
+			c.lastOK = true
 			return AccessResult{Hit: true}
 		}
 	}
@@ -259,6 +322,11 @@ func (c *Cache) Access(addr uint64, write bool) AccessResult {
 	}
 	c.lru[base+victim] = c.lruClock
 	c.stats.Fills++
+	c.lastBlk = addr >> c.setShift
+	c.lastIdx = base + victim
+	c.lastSet = set
+	c.lastBit = vbit
+	c.lastOK = true
 	return res
 }
 
@@ -330,6 +398,7 @@ func (c *Cache) InvalidateFrame(set, way int) (needWriteback bool, addr uint64) 
 	}
 	c.valid[set] &^= bit
 	c.dirty[set] &^= bit
+	c.lastOK = false
 	return needWriteback, addr
 }
 
@@ -347,6 +416,7 @@ func (c *Cache) SetFaulty(set, way int, faulty bool) {
 	} else {
 		c.faulty[set] &^= bit
 	}
+	c.lastOK = false
 }
 
 // FaultyCount returns the number of frames currently marked faulty.
@@ -393,6 +463,20 @@ func (c *Cache) FlushAll(sink func(addr uint64)) {
 // invalid, and no set may hold two valid frames with the same tag.
 // It returns the first violation found, or nil.
 func (c *Cache) CheckInvariants() error {
+	if c.lastOK {
+		set := int(c.lastBlk & c.setMask)
+		way := c.lastIdx - set*c.ways
+		if set != c.lastSet || way < 0 || way >= c.ways || c.lastBit != 1<<uint(way) {
+			return fmt.Errorf("cache: %s: memo location inconsistent: blk %#x idx %d set %d bit %#x",
+				c.name, c.lastBlk, c.lastIdx, c.lastSet, c.lastBit)
+		}
+		if c.valid[set]&c.lastBit == 0 || c.faulty[set]&c.lastBit != 0 {
+			return fmt.Errorf("cache: %s: memo points at invalid or faulty frame (%d,%d)", c.name, set, way)
+		}
+		if c.tags[c.lastIdx] != c.lastBlk>>c.setBits {
+			return fmt.Errorf("cache: %s: memo tag mismatch at (%d,%d)", c.name, set, way)
+		}
+	}
 	for s := 0; s < c.sets; s++ {
 		if bad := c.faulty[s] & c.valid[s]; bad != 0 {
 			w := bits.TrailingZeros64(bad)

@@ -211,6 +211,74 @@ func TestDifferentialAgainstReference(t *testing.T) {
 	}
 }
 
+// TestDifferentialLocalityBiased drives both implementations with a
+// stream biased toward repeat accesses to the same block — the pattern
+// the last-hit memo fast path serves — interleaved with occasional
+// faults and invalidations that must drop the memo. The plain random
+// test above rarely repeats a block back-to-back, so this closes the
+// fast-path coverage gap.
+func TestDifferentialLocalityBiased(t *testing.T) {
+	cfg := Config{Name: "loc", SizeBytes: 16 << 10, Assoc: 4, BlockBytes: 64}
+	got := MustNew(cfg)
+	want := newRefCache(cfg)
+	rng := stats.NewRNG(stats.Derive(0x10c, 1))
+	sets, ways := got.Sets(), got.Ways()
+	span := uint64(sets*ways*cfg.BlockBytes) * 3
+	var cur uint64
+	for i := 0; i < 300_000; i++ {
+		switch op := rng.Intn(100); {
+		case op < 70: // touch the current block again (different word)
+			addr := cur + uint64(rng.Intn(cfg.BlockBytes/8))*8
+			write := rng.Bool(0.3)
+			g, w := got.Access(addr, write), want.Access(addr, write)
+			if g != w {
+				t.Fatalf("op %d: repeat Access(%#x,%v) = %+v, reference %+v", i, addr, write, g, w)
+			}
+		case op < 94: // move to a new block
+			cur = uint64(rng.Intn(int(span/uint64(cfg.BlockBytes)))) * uint64(cfg.BlockBytes)
+			write := rng.Bool(0.3)
+			g, w := got.Access(cur, write), want.Access(cur, write)
+			if g != w {
+				t.Fatalf("op %d: Access(%#x,%v) = %+v, reference %+v", i, cur, write, g, w)
+			}
+		case op < 97: // fault flip, transition-style
+			s, w := rng.Intn(sets), rng.Intn(ways)
+			faulty := rng.Bool(0.5)
+			if faulty {
+				gn, ga := got.InvalidateFrame(s, w)
+				wn, wa := want.InvalidateFrame(s, w)
+				if gn != wn || (gn && ga != wa) {
+					t.Fatalf("op %d: InvalidateFrame(%d,%d) diverged", i, s, w)
+				}
+			}
+			got.SetFaulty(s, w, faulty)
+			want.SetFaulty(s, w, faulty)
+		default: // explicit invalidation
+			s, w := rng.Intn(sets), rng.Intn(ways)
+			gn, ga := got.InvalidateFrame(s, w)
+			wn, wa := want.InvalidateFrame(s, w)
+			if gn != wn || (gn && ga != wa) {
+				t.Fatalf("op %d: InvalidateFrame(%d,%d) diverged", i, s, w)
+			}
+		}
+		if i%5_000 == 0 {
+			if err := got.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if gs, ws := got.Stats(), want.stats; gs != ws {
+		t.Fatalf("final stats diverge:\npacked    %+v\nreference %+v", gs, ws)
+	}
+	for s := 0; s < sets; s++ {
+		for w := 0; w < ways; w++ {
+			if gm, wm := got.Meta(s, w), want.Meta(s, w); gm != wm {
+				t.Fatalf("meta (%d,%d): packed %+v, reference %+v", s, w, gm, wm)
+			}
+		}
+	}
+}
+
 // TestAccessZeroAllocs pins the hot-path allocation contract: a demand
 // access (hit or miss with eviction) performs no heap allocation.
 func TestAccessZeroAllocs(t *testing.T) {

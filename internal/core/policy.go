@@ -236,10 +236,23 @@ func (d *DPCSPolicy) amortisedPenalty() float64 {
 	return float64(tp) / float64(d.cfg.Interval)
 }
 
+// Due reports whether the next access-count interval boundary has been
+// reached — the only condition under which Tick can act. Between
+// boundaries the policy is provably quiescent: it holds no per-access
+// state (energy and time-at-level integrate lazily in the controller's
+// AdvanceTo), so simulators fast-forward by gating Tick behind Due and
+// skipping the call entirely on the (vastly more common) negative. The
+// check reads one counter and must stay inlinable.
+func (d *DPCSPolicy) Due() bool {
+	return d.armed && d.ctrl.Cache.Accesses() >= d.nextSampleAt
+}
+
 // Tick runs the policy after a cache access. now is the current cycle.
 // If the access count has crossed an interval boundary the policy makes
 // its Listing-1 decision; any resulting transition's stall cycles are
 // returned for the caller to add to execution time (zero otherwise).
+// Tick re-checks Due's condition itself, so calling it without the Due
+// gate is merely slower, never different.
 func (d *DPCSPolicy) Tick(now uint64, sink func(addr uint64)) (stall uint64) {
 	if !d.armed {
 		return 0

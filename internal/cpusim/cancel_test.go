@@ -3,6 +3,7 @@ package cpusim
 import (
 	"context"
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 
@@ -45,6 +46,53 @@ func TestRunContextMidFlightCancel(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("mid-flight cancel took %s", elapsed)
+	}
+}
+
+// cancellingGen wraps a generator and cancels a context after exactly
+// `at` instructions have been produced — landing the cancel mid-block —
+// while counting every instruction generated afterwards.
+type cancellingGen struct {
+	inner  trace.Generator
+	at     uint64
+	count  uint64
+	cancel context.CancelFunc
+}
+
+func (g *cancellingGen) Name() string { return g.inner.Name() }
+
+func (g *cancellingGen) Next(ins *trace.Instr) {
+	g.count++
+	if g.count == g.at {
+		g.cancel()
+	}
+	g.inner.Next(ins)
+}
+
+// TestCancelStopsWithinOneBlock pins the block pipeline's cancellation
+// granularity: a cancel arriving mid-block must return ctx.Err() at
+// the next block-boundary poll, so simulation stops within one block.
+// The producer goroutine runs ahead of simulation by at most the two
+// arena blocks, bounding generation past the cancel at two blocks.
+func TestCancelStopsWithinOneBlock(t *testing.T) {
+	// Force the threaded pipe shape so the two-block producer run-ahead
+	// bound is what's actually under test, even on a single-CPU host.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	w, _ := trace.ByName("bzip2.s")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Fire a third of the way into a block, past warmup.
+	const fireAt = 50_000 + trace.BlockSize/3
+	g := &cancellingGen{inner: trace.MustNew(w, 1), at: fireAt, cancel: cancel}
+	opts := RunOptions{WarmupInstr: 50_000, SimInstr: 2_000_000_000, Seed: 1}
+	_, err := RunGeneratorContext(ctx, ConfigA(), core.DPCS, g, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	over := g.count - fireAt
+	if over > 2*trace.BlockSize {
+		t.Fatalf("generated %d instructions past the cancel, want <= %d (two blocks)",
+			over, 2*trace.BlockSize)
 	}
 }
 

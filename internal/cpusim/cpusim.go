@@ -187,6 +187,9 @@ type System struct {
 	l1d    *level
 	l2     *level
 	cycles uint64
+	// scalarLoop selects the retained per-instruction reference loop
+	// instead of the block pipeline; the differential tests set it.
+	scalarLoop bool
 }
 
 // NewSystem builds the three cache levels for the given mode, deriving
@@ -346,7 +349,7 @@ func (s *System) accessL2(addr uint64, write bool) uint64 {
 			s.writebackToMem(res.WritebackAddr)
 		}
 	}
-	if s.l2.dpcs != nil {
+	if s.l2.dpcs != nil && s.l2.dpcs.Due() {
 		s.cycles += s.l2.dpcs.Tick(s.cycles, s.writebackToMem)
 	}
 	return s.overlap(stall)
@@ -365,9 +368,11 @@ func (s *System) overlap(stall uint64) uint64 {
 }
 
 // accessL1 performs a demand access on an L1, recursing into L2 on miss,
-// and returns the stall cycles beyond the pipelined hit.
+// and returns the stall cycles beyond the pipelined hit. step handles
+// the memoized repeat-block fast path before calling here, so this is
+// the cold half of the split.
 func (s *System) accessL1(lv *level, addr uint64, write bool) uint64 {
-	res := lv.ctrl.Cache.Access(addr, write)
+	res := lv.ctrl.Cache.AccessFull(addr, write)
 	lv.ctrl.OnAccess(write)
 	var stall uint64
 	if !res.Hit {
@@ -380,7 +385,11 @@ func (s *System) accessL1(lv *level, addr uint64, write bool) uint64 {
 		}
 		stall = s.accessL2(addr, write)
 	}
-	if lv.dpcs != nil {
+	// Interval fast-forward: the policy is quiescent between sampling
+	// boundaries (energy and time-at-level integrate lazily in the
+	// controller), so the Tick call — and its interval-stats struct
+	// copy — is skipped until the access counter crosses the boundary.
+	if lv.dpcs != nil && lv.dpcs.Due() {
 		s.cycles += lv.dpcs.Tick(s.cycles, s.writebackToL2)
 	}
 	return stall
@@ -391,12 +400,32 @@ func blockAlign(addr uint64, blockBytes int) uint64 {
 	return addr &^ (uint64(blockBytes) - 1)
 }
 
-// step executes one instruction.
+// step executes one instruction. The memoized repeat-block L1 hit —
+// the dominant outcome for sequential fetch runs and hot data blocks —
+// is fused inline here (FastHit and Due both inline), so the common
+// case runs without entering accessL1 at all; everything else takes
+// the cold accessL1 path. FastHit-then-AccessFull is observationally
+// identical to Access, so both halves of the split preserve the exact
+// per-access effects of the reference implementation.
 func (s *System) step(ins *trace.Instr) {
 	s.cycles++ // base CPI of 1
-	s.cycles += s.accessL1(s.l1i, ins.PC, false)
+	if s.l1i.ctrl.Cache.FastHit(ins.PC, false) {
+		s.l1i.ctrl.OnAccess(false)
+		if s.l1i.dpcs != nil && s.l1i.dpcs.Due() {
+			s.cycles += s.l1i.dpcs.Tick(s.cycles, s.writebackToL2)
+		}
+	} else {
+		s.cycles += s.accessL1(s.l1i, ins.PC, false)
+	}
 	if ins.HasMem {
-		s.cycles += s.accessL1(s.l1d, ins.Addr, ins.Write)
+		if s.l1d.ctrl.Cache.FastHit(ins.Addr, ins.Write) {
+			s.l1d.ctrl.OnAccess(ins.Write)
+			if s.l1d.dpcs != nil && s.l1d.dpcs.Due() {
+				s.cycles += s.l1d.dpcs.Tick(s.cycles, s.writebackToL2)
+			}
+		} else {
+			s.cycles += s.accessL1(s.l1d, ins.Addr, ins.Write)
+		}
 	}
 }
 
@@ -448,10 +477,56 @@ func RunGeneratorContext(ctx context.Context, cfg SystemConfig, mode core.Mode, 
 	return sys.run(ctx, gen, opts)
 }
 
-// ctxCheckMask throttles cancellation polling in the instruction loops:
-// ctx.Err() is checked once every 8192 instructions, cheap enough to be
-// invisible and fine-grained enough to stop a run within microseconds.
+// ctxCheckMask throttles cancellation polling in the retained scalar
+// instruction loop: ctx.Err() is checked once every 8192 instructions,
+// cheap enough to be invisible and fine-grained enough to stop a run
+// within microseconds. The block loop polls once per block instead.
 const ctxCheckMask = 8192 - 1
+
+// simulate runs n instructions off a trace.Pipe: the pipe fills blocks
+// (ahead, on multi-core hosts) while this consumer steps through them,
+// with cancellation polled once per block. A cancel arriving mid-block
+// is observed at the next block boundary, so simulation stops within
+// one block (trace.BlockSize instructions) of the cancel; a threaded
+// producer may have run at most the two arena blocks ahead of the stop
+// point.
+func (s *System) simulate(ctx context.Context, p *trace.Pipe, n uint64) error {
+	for n > 0 {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if p.Pos == len(p.Cur) {
+			p.Refill()
+		}
+		blk := p.Cur[p.Pos:]
+		if n < uint64(len(blk)) {
+			blk = blk[:n]
+		}
+		for i := range blk {
+			s.step(&blk[i])
+		}
+		p.Pos += len(blk)
+		n -= uint64(len(blk))
+	}
+	return nil
+}
+
+// simulateScalar is the retained reference inner loop — one generator
+// call and one step per instruction, exactly the pre-block pipeline.
+// The block loop above must be observationally identical instruction
+// for instruction; TestBlockLoopMatchesScalar drives both over the
+// same workloads and asserts equal Results.
+func (s *System) simulateScalar(ctx context.Context, gen trace.Generator, n uint64) error {
+	var ins trace.Instr
+	for i := uint64(0); i < n; i++ {
+		if i&ctxCheckMask == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		gen.Next(&ins)
+		s.step(&ins)
+	}
+	return nil
+}
 
 // transitionTracer wraps a PolicySink, recording every N-th controller
 // voltage transition as a dpcs.transition instant span under parent.
@@ -500,16 +575,25 @@ func (sys *System) run(ctx context.Context, gen trace.Generator, opts RunOptions
 	}
 	sys.start()
 
+	// The block pipeline is the production path; scalarLoop selects the
+	// retained reference loop for differential testing.
+	var p *trace.Pipe
+	if !sys.scalarLoop {
+		p = trace.StartPipe(trace.AsBlock(gen))
+		defer p.Close()
+	}
+	window := func(n uint64) error {
+		if sys.scalarLoop {
+			return sys.simulateScalar(ctx, gen, n)
+		}
+		return sys.simulate(ctx, p, n)
+	}
+
 	wsp := parent.Child("sim.warmup")
 	wsp.SetUint("instructions", opts.WarmupInstr)
-	var ins trace.Instr
-	for i := uint64(0); i < opts.WarmupInstr; i++ {
-		if i&ctxCheckMask == 0 && ctx.Err() != nil {
-			wsp.End()
-			return Result{}, ctx.Err()
-		}
-		gen.Next(&ins)
-		sys.step(&ins)
+	if err := window(opts.WarmupInstr); err != nil {
+		wsp.End()
+		return Result{}, err
 	}
 	wsp.End()
 	sys.armPolicies()
@@ -533,13 +617,9 @@ func (sys *System) run(ctx context.Context, gen trace.Generator, opts RunOptions
 
 	msp := parent.Child("sim.measure")
 	msp.SetUint("instructions", opts.SimInstr)
-	for i := uint64(0); i < opts.SimInstr; i++ {
-		if i&ctxCheckMask == 0 && ctx.Err() != nil {
-			msp.End()
-			return Result{}, ctx.Err()
-		}
-		gen.Next(&ins)
-		sys.step(&ins)
+	if err := window(opts.SimInstr); err != nil {
+		msp.End()
+		return Result{}, err
 	}
 	msp.End()
 

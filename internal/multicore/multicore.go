@@ -119,6 +119,7 @@ func (d *directory) drop(addr uint64, coreID int) {
 type coreState struct {
 	id               int
 	gen              trace.Generator
+	pipe             *trace.Pipe // per-core block feed (sharded generation)
 	l1i              *core.Controller
 	l1d              *core.Controller
 	l1iPol           *core.DPCSPolicy
@@ -170,6 +171,10 @@ type System struct {
 	global uint64 // monotone global clock for the shared L2
 	cohInv uint64
 	l2SPCS int
+	// scalarLoop selects the retained per-instruction reference
+	// interleave instead of the sharded block feeds; the differential
+	// tests set it.
+	scalarLoop bool
 }
 
 // builderFacade reuses cpusim's per-level construction through its
@@ -278,8 +283,13 @@ func (s *System) accessL2(c *coreState, addr uint64, write bool) uint64 {
 		}
 	}
 	if s.l2Pol != nil {
+		// The global-clock bump stays unconditional (skipping it would
+		// change the `now` a later due Tick observes); only the Tick —
+		// a no-op between sampling boundaries — is fast-forwarded.
 		now := s.bump(c.cycles)
-		s.l2Pol.Tick(now, nil)
+		if s.l2Pol.Due() {
+			s.l2Pol.Tick(now, nil)
+		}
 	}
 	return stall
 }
@@ -321,7 +331,19 @@ func (s *System) accessL1D(c *coreState, addr uint64, write bool) uint64 {
 			stall += s.cfg.CoherencePenaltyCycles
 		}
 	}
-	res := c.l1d.Cache.Access(addr, write)
+	// Memoized repeat-block hit: identical observable effects to the
+	// probe-loop hit below (including the directory note), with the set
+	// probe skipped. Coherence invalidations drop the memo, so a block
+	// stolen by a remote writer can never fast-hit.
+	if c.l1d.Cache.FastHit(addr, write) {
+		c.l1d.OnAccess(write)
+		s.dir.addSharer(blk, c.id)
+		if c.l1dPol != nil && c.l1dPol.Due() {
+			c.cycles += c.l1dPol.Tick(c.cycles, s.writebackToL2)
+		}
+		return stall
+	}
+	res := c.l1d.Cache.AccessFull(addr, write)
 	c.l1d.OnAccess(write)
 	if res.Hit {
 		s.dir.addSharer(blk, c.id)
@@ -337,16 +359,24 @@ func (s *System) accessL1D(c *coreState, addr uint64, write bool) uint64 {
 		}
 		stall += s.accessL2(c, addr, write)
 	}
-	if c.l1dPol != nil {
+	if c.l1dPol != nil && c.l1dPol.Due() {
 		c.cycles += c.l1dPol.Tick(c.cycles, s.writebackToL2)
 	}
 	return stall
 }
 
 // accessL1I performs an instruction fetch (no coherence: code is
-// read-only).
+// read-only). Sequential fetch runs make the memoized repeat-block hit
+// the dominant outcome.
 func (s *System) accessL1I(c *coreState, addr uint64) uint64 {
-	res := c.l1i.Cache.Access(addr, false)
+	if c.l1i.Cache.FastHit(addr, false) {
+		c.l1i.OnAccess(false)
+		if c.l1iPol != nil && c.l1iPol.Due() {
+			c.cycles += c.l1iPol.Tick(c.cycles, s.writebackToL2)
+		}
+		return 0
+	}
+	res := c.l1i.Cache.AccessFull(addr, false)
 	c.l1i.OnAccess(false)
 	var stall uint64
 	if !res.Hit {
@@ -359,7 +389,7 @@ func (s *System) accessL1I(c *coreState, addr uint64) uint64 {
 		}
 		stall = s.accessL2(c, addr, false)
 	}
-	if c.l1iPol != nil {
+	if c.l1iPol != nil && c.l1iPol.Due() {
 		c.cycles += c.l1iPol.Tick(c.cycles, s.writebackToL2)
 	}
 	return stall
@@ -400,17 +430,65 @@ func RunContext(ctx context.Context, cfg Config, mode core.Mode, w trace.Workloa
 	if err != nil {
 		return Result{}, err
 	}
+	return sys.run(ctx, warmupPerCore, instrPerCore)
+}
+
+// run drives a prepared multi-core system through warm-up and
+// measurement.
+//
+// The production path shards trace generation across the cell: every
+// core's generator — an independent, separately-seeded RNG stream —
+// feeds its own trace.Pipe, so on multi-core hosts N producer
+// goroutines fill reused block arenas concurrently while this single
+// consumer goroutine interleaves the cores round-robin. Everything at
+// or below the sharing boundary — private-L1 state, the coherence
+// directory, the shared L2 — is touched only by the consumer, in a
+// fixed sweep order, so the simulation is deterministic regardless of
+// producer scheduling: each pipe delivers its core's stream in
+// production order, and the interleaving of streams is fixed by the
+// round-robin. TestShardedMatchesSerial pins this against the retained
+// scalar interleave.
+func (sys *System) run(ctx context.Context, warmupPerCore, instrPerCore uint64) (Result, error) {
+	parent := tracez.SpanFromContext(ctx)
+	cfg := sys.cfg
+	mode := sys.mode
 	sys.start()
 
+	if !sys.scalarLoop {
+		for _, c := range sys.cores {
+			c.pipe = trace.StartPipe(trace.AsBlock(c.gen))
+		}
+		defer func() {
+			for _, c := range sys.cores {
+				c.pipe.Close()
+			}
+		}()
+	}
 	var ins trace.Instr
 	interleave := func(n uint64) error {
+		if sys.scalarLoop {
+			for k := uint64(0); k < n; k++ {
+				if k&ctxCheckMask == 0 && ctx.Err() != nil {
+					return ctx.Err()
+				}
+				for _, c := range sys.cores {
+					c.gen.Next(&ins)
+					sys.step(c, &ins)
+				}
+			}
+			return nil
+		}
 		for k := uint64(0); k < n; k++ {
 			if k&ctxCheckMask == 0 && ctx.Err() != nil {
 				return ctx.Err()
 			}
 			for _, c := range sys.cores {
-				c.gen.Next(&ins)
-				sys.step(c, &ins)
+				p := c.pipe
+				if p.Pos == len(p.Cur) {
+					p.Refill()
+				}
+				sys.step(c, &p.Cur[p.Pos])
+				p.Pos++
 			}
 		}
 		return nil

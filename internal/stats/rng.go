@@ -17,13 +17,21 @@
 // must never share an *RNG without external locking.
 package stats
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a deterministic pseudo-random number generator based on
 // xoshiro256** seeded via SplitMix64. It is not safe for concurrent use;
 // give each goroutine its own RNG (see Split).
+//
+// The four state words are scalar fields rather than an array so that
+// Uint64 fits the compiler's inlining budget: the simulator's trace
+// generators draw from it a few times per simulated instruction, and the
+// call overhead is measurable on the block-simulation hot path.
 type RNG struct {
-	s [4]uint64
+	s0, s1, s2, s3 uint64
 	// cached spare normal deviate for Box-Muller
 	haveSpare bool
 	spare     float64
@@ -44,28 +52,28 @@ func splitMix64(state *uint64) uint64 {
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
 	sm := seed
-	for i := range r.s {
-		r.s[i] = splitMix64(&sm)
-	}
+	r.s0 = splitMix64(&sm)
+	r.s1 = splitMix64(&sm)
+	r.s2 = splitMix64(&sm)
+	r.s3 = splitMix64(&sm)
 	// Avoid the (astronomically unlikely) all-zero state.
-	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
-		r.s[0] = 0x9e3779b97f4a7c15
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
 	}
 	return r
 }
 
-func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
-
-// Uint64 returns the next 64 uniformly distributed bits.
+// Uint64 returns the next 64 uniformly distributed bits. It is written
+// to stay within the inlining budget (see the RNG type comment).
 func (r *RNG) Uint64() uint64 {
-	result := rotl(r.s[1]*5, 7) * 9
-	t := r.s[1] << 17
-	r.s[2] ^= r.s[0]
-	r.s[3] ^= r.s[1]
-	r.s[1] ^= r.s[2]
-	r.s[0] ^= r.s[3]
-	r.s[2] ^= t
-	r.s[3] = rotl(r.s[3], 45)
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
 	return result
 }
 
@@ -121,15 +129,12 @@ func (r *RNG) Uint64n(n uint64) uint64 {
 	}
 }
 
-// Bool returns true with probability p.
+// Bool returns true with probability p. The draw-free fast paths for
+// p <= 0 and p >= 1 consume no stream state; the single-expression body
+// keeps Bool (with Float64 and Uint64 folded in) fully inlinable on the
+// trace-generation hot path.
 func (r *RNG) Bool(p float64) bool {
-	if p <= 0 {
-		return false
-	}
-	if p >= 1 {
-		return true
-	}
-	return r.Float64() < p
+	return p > 0 && (p >= 1 || r.Float64() < p)
 }
 
 // Normal returns a draw from the normal distribution with the given mean

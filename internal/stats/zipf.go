@@ -4,7 +4,11 @@ import "math"
 
 // Zipf samples from a Zipf(s) distribution over {0, 1, ..., n-1}:
 // P(k) proportional to 1/(k+1)^s. It precomputes the CDF and samples by
-// binary search, so construction is O(n) and each draw is O(log n).
+// binary search, so construction is O(n) and each draw is O(log n). A
+// radix index over the CDF narrows each search to a handful of entries,
+// which both shortens the search and keeps its probes cache-local; the
+// drawn indices are identical to a plain full-range lower-bound search
+// (the differential test in zipf_test.go pins this).
 //
 // Zipf-distributed block popularity is the standard model for cache
 // reference streams with temporal locality; the synthetic SPEC-like
@@ -12,7 +16,19 @@ import "math"
 type Zipf struct {
 	cdf []float64
 	rng *RNG
+	// idx is the radix index: bucket b of nb covers u in
+	// [b/nb, (b+1)/nb), and idx[b] is the smallest k with
+	// cdf[k] >= b/nb, so the lower-bound search for a u landing in
+	// bucket b is confined to [idx[b], idx[b+1]]. Draw re-validates the
+	// bracket against u before searching, so float rounding at bucket
+	// edges can never change the result, only widen one search.
+	idx []int32
+	nbf float64
 }
+
+// zipfMaxBuckets caps the radix index size; supports smaller than the
+// cap get one bucket per element (search range width <= 1).
+const zipfMaxBuckets = 4096
 
 // NewZipf creates a Zipf sampler over n elements with exponent s >= 0.
 // s == 0 degenerates to the uniform distribution.
@@ -34,16 +50,51 @@ func NewZipf(rng *RNG, n int, s float64) *Zipf {
 		cdf[k] *= inv
 	}
 	cdf[n-1] = 1 // guard against rounding
-	return &Zipf{cdf: cdf, rng: rng}
+	nb := n
+	if nb > zipfMaxBuckets {
+		nb = zipfMaxBuckets
+	}
+	idx := make([]int32, nb+1)
+	nbf := float64(nb)
+	k := 0
+	for b := 1; b <= nb; b++ {
+		thr := float64(b) / nbf
+		for k < n-1 && cdf[k] < thr {
+			k++
+		}
+		idx[b] = int32(k)
+	}
+	return &Zipf{cdf: cdf, rng: rng, idx: idx, nbf: nbf}
 }
 
 // N returns the number of elements in the sampler's support.
 func (z *Zipf) N() int { return len(z.cdf) }
 
-// Draw returns the next Zipf-distributed index in [0, n).
+// Draw returns the next Zipf-distributed index in [0, n): the smallest k
+// with cdf[k] >= u for a uniform u — exactly what the pre-index
+// full-range binary search returned.
 func (z *Zipf) Draw() int {
-	u := z.rng.Float64()
-	lo, hi := 0, len(z.cdf)-1
+	return z.drawAt(z.rng.Float64())
+}
+
+// drawAt maps a uniform u in [0, 1) to its Zipf index. Factored out of
+// Draw so tests can probe adversarial uniforms directly.
+func (z *Zipf) drawAt(u float64) int {
+	b := int(u * z.nbf)
+	if b > len(z.idx)-2 { // u*nbf can round up to nbf when u -> 1
+		b = len(z.idx) - 2
+	}
+	lo, hi := int(z.idx[b]), int(z.idx[b+1])
+	// Re-establish the lower-bound bracketing invariants — cdf[hi] >= u
+	// and (lo == 0 or cdf[lo-1] < u) — in case u rounded into a
+	// neighbouring bucket.
+	if z.cdf[hi] < u {
+		hi = len(z.cdf) - 1
+	}
+	if lo > 0 && z.cdf[lo-1] >= u {
+		hi = lo - 1
+		lo = 0
+	}
 	for lo < hi {
 		mid := (lo + hi) / 2
 		if z.cdf[mid] < u {

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// drawRef is the pre-index reference: a plain lower-bound binary search
+// over the full CDF. Draw must return exactly this index for the same u.
+func drawRef(cdf []float64, u float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// TestZipfIndexedDrawMatchesReference runs two identically seeded
+// samplers in lock-step: the indexed Draw and the reference full-range
+// search over the same CDF and RNG stream must agree draw for draw.
+func TestZipfIndexedDrawMatchesReference(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 17, 100, 4096, 5000, 65536} {
+		for _, s := range []float64{0, 0.5, 0.99, 1.5} {
+			z := NewZipf(NewRNG(uint64(n)*31+uint64(s*100)), n, s)
+			ref := NewRNG(uint64(n)*31 + uint64(s*100))
+			draws := 5000
+			if n < 10 {
+				draws = 500
+			}
+			for i := 0; i < draws; i++ {
+				u := ref.Float64()
+				want := drawRef(z.cdf, u)
+				got := z.Draw()
+				if got != want {
+					t.Fatalf("n=%d s=%v draw %d (u=%v): indexed %d != reference %d",
+						n, s, i, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestZipfDrawEdgeUniforms drives Draw with adversarial uniforms sitting
+// exactly on CDF values and bucket boundaries, where float rounding
+// could misplace the radix bucket.
+func TestZipfDrawEdgeUniforms(t *testing.T) {
+	for _, n := range []int{3, 1000, 4099} {
+		z := NewZipf(NewRNG(1), n, 1.0)
+		var us []float64
+		for _, k := range []int{0, 1, n / 2, n - 2, n - 1} {
+			if k < 0 || k >= n {
+				continue
+			}
+			c := z.cdf[k]
+			us = append(us, c, math.Nextafter(c, 0), math.Nextafter(c, 2))
+		}
+		nb := len(z.idx) - 1
+		for b := 0; b <= nb; b++ {
+			e := float64(b) / float64(nb)
+			us = append(us, e, math.Nextafter(e, 0), math.Nextafter(e, 2))
+		}
+		for _, u := range us {
+			if u < 0 || u >= 1 {
+				continue
+			}
+			want := drawRef(z.cdf, u)
+			got := z.drawAt(u)
+			if got != want {
+				t.Fatalf("n=%d u=%v: indexed %d != reference %d", n, u, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package trace
+
+// BlockGenerator is a Generator that can also fill instructions in bulk.
+// The simulator's inner loop consumes fixed-size blocks so the per-call
+// interface dispatch, cancellation checks, and telemetry polls amortize
+// over BlockSize instructions instead of one.
+//
+// NextBlock fills all of dst and returns len(dst). Generators are
+// infinite streams (synthetic workloads cycle through phases forever;
+// replay either reopens or repeats the final instruction), so a full
+// block is always available. The instructions produced are exactly the
+// ones len(dst) successive Next calls would have produced — the
+// differential tests in block_test.go pin this for every generator.
+type BlockGenerator interface {
+	Generator
+	NextBlock(dst []Instr) int
+}
+
+// BlockSize is the simulator's standard instruction block length. Large
+// enough to amortize per-block overhead (interface calls, ctx polls)
+// into noise, small enough that a mid-block cancellation still stops
+// promptly and a block of Instrs (32 B each) stays L1-resident.
+const BlockSize = 1024
+
+// AsBlock returns g as a BlockGenerator, wrapping it in a scalar
+// adapter when it lacks a native NextBlock.
+func AsBlock(g Generator) BlockGenerator {
+	if bg, ok := g.(BlockGenerator); ok {
+		return bg
+	}
+	return scalarBlock{g}
+}
+
+// scalarBlock adapts a legacy scalar Generator to the block API.
+type scalarBlock struct {
+	Generator
+}
+
+func (s scalarBlock) NextBlock(dst []Instr) int {
+	for i := range dst {
+		s.Generator.Next(&dst[i])
+	}
+	return len(dst)
+}
+
+// NextBlock implements BlockGenerator natively: the loop devirtualizes
+// the Next call (direct method dispatch, inlinable body) so the RNG and
+// phase machinery run without per-instruction interface overhead.
+func (g *synthetic) NextBlock(dst []Instr) int {
+	for i := range dst {
+		g.Next(&dst[i])
+	}
+	return len(dst)
+}
+
+// NextBlock implements BlockGenerator for replayed traces with the same
+// reopen/repeat-last semantics as Next.
+func (g *ReplayGenerator) NextBlock(dst []Instr) int {
+	for i := range dst {
+		g.Next(&dst[i])
+	}
+	return len(dst)
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestNextBlockMatchesNext proves the bulk API yields exactly the
+// instruction sequence the scalar API would, for every workload in the
+// suite, across randomized odd block sizes that land phase boundaries
+// mid-block.
+func TestNextBlockMatchesNext(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for _, w := range Suite() {
+		blk := AsBlock(MustNew(w, 7))
+		ref := MustNew(w, 7)
+		buf := make([]Instr, 0, 512)
+		var want Instr
+		total := 0
+		for total < 20000 {
+			n := 1 + rng.Intn(511)
+			buf = buf[:n]
+			if got := blk.NextBlock(buf); got != n {
+				t.Fatalf("%s: NextBlock(%d) returned %d", w.Name, n, got)
+			}
+			for i := 0; i < n; i++ {
+				ref.Next(&want)
+				if buf[i] != want {
+					t.Fatalf("%s: instr %d: block %+v != scalar %+v",
+						w.Name, total+i, buf[i], want)
+				}
+			}
+			total += n
+		}
+	}
+}
+
+// TestAsBlockAdapter checks the scalar adapter path: a Generator that
+// lacks a native NextBlock gets one with identical semantics, and a
+// BlockGenerator passes through unwrapped.
+func TestAsBlockAdapter(t *testing.T) {
+	w := Suite()[0]
+	native := MustNew(w, 3)
+	if _, ok := native.(BlockGenerator); !ok {
+		t.Fatal("synthetic should implement BlockGenerator natively")
+	}
+	if AsBlock(native) != native {
+		t.Fatal("AsBlock should pass a BlockGenerator through unwrapped")
+	}
+
+	adapted := AsBlock(scalarOnly{MustNew(w, 3)})
+	ref := MustNew(w, 3)
+	buf := make([]Instr, 100)
+	var want Instr
+	for round := 0; round < 30; round++ {
+		adapted.NextBlock(buf)
+		for i := range buf {
+			ref.Next(&want)
+			if buf[i] != want {
+				t.Fatalf("round %d instr %d: adapter %+v != scalar %+v",
+					round, i, buf[i], want)
+			}
+		}
+	}
+	if adapted.Name() != w.Name {
+		t.Fatalf("adapter name %q != %q", adapted.Name(), w.Name)
+	}
+}
+
+// scalarOnly hides a generator's native NextBlock so AsBlock must wrap.
+type scalarOnly struct{ g Generator }
+
+func (s scalarOnly) Name() string  { return s.g.Name() }
+func (s scalarOnly) Next(i *Instr) { s.g.Next(i) }
+
+// TestReplayNextBlockBitExact replays a recorded trace through the bulk
+// API and checks every instruction against a fresh scalar generator,
+// including the repeat-last tail past EOF.
+func TestReplayNextBlockBitExact(t *testing.T) {
+	const n = 3000
+	data := recordBytes(t, n)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplay("x", r, nil)
+	ref := MustNew(simpleWorkload(), 21)
+	buf := make([]Instr, 250)
+	var want Instr
+	for off := 0; off < n; off += len(buf) {
+		rep.NextBlock(buf)
+		for i := range buf {
+			ref.Next(&want)
+			if buf[i] != want {
+				t.Fatalf("instr %d: replay block %+v != generator %+v",
+					off+i, buf[i], want)
+			}
+		}
+	}
+	if rep.Err() != nil {
+		t.Fatalf("unexpected error: %v", rep.Err())
+	}
+	// Past EOF without reopen, every slot holds the final instruction.
+	last := want
+	rep.NextBlock(buf)
+	for i := range buf {
+		if buf[i] != last {
+			t.Fatalf("post-EOF slot %d: %+v != last %+v", i, buf[i], last)
+		}
+	}
+	if rep.Err() != nil {
+		t.Fatalf("EOF treated as error: %v", rep.Err())
+	}
+}
+
+// TestReplayNextBlockLoopsWithReopen drives the bulk API across a
+// reopen boundary mid-block and checks the stream wraps seamlessly.
+func TestReplayNextBlockLoopsWithReopen(t *testing.T) {
+	const n = 100
+	data := recordBytes(t, n)
+	r, _ := NewReader(bytes.NewReader(data))
+	reopens := 0
+	rep := NewReplay("loop", r, func() (*Reader, error) {
+		reopens++
+		return NewReader(bytes.NewReader(data))
+	})
+	buf := make([]Instr, 64)
+	var got []Instr
+	for len(got) < 2*n {
+		rep.NextBlock(buf)
+		got = append(got, buf...)
+	}
+	if reopens < 1 {
+		t.Fatal("never reopened")
+	}
+	if rep.Err() != nil {
+		t.Fatalf("replay error: %v", rep.Err())
+	}
+	for i := n; i < 2*n; i++ {
+		if got[i] != got[i-n] {
+			t.Fatalf("wrapped instr %d: %+v != first pass %+v", i, got[i], got[i-n])
+		}
+	}
+}

@@ -17,11 +17,29 @@ func FuzzReader(f *testing.F) {
 	f.Add(seedBuf.Bytes())
 	f.Add([]byte("PCSTRC01"))
 	f.Add([]byte{})
+	// Truncated and bit-flipped recordings exercise mid-varint and
+	// mid-record EOF paths; a long memory-heavy recording exercises the
+	// bulk replay path below with multi-block payloads.
+	raw := seedBuf.Bytes()
+	f.Add(raw[:len(raw)/2])
+	if len(raw) > 16 {
+		flipped := append([]byte(nil), raw...)
+		flipped[len(flipped)/3] ^= 0x80
+		f.Add(flipped)
+	}
+	g2 := MustNew(simpleWorkload(), 17)
+	var bigBuf bytes.Buffer
+	if err := Record(g2, 700, &bigBuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bigBuf.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
+		// Scalar pass: must never panic.
+		var scalar []Instr
 		var ins Instr
 		for i := 0; i < 10000; i++ {
 			if err := r.Read(&ins); err != nil {
@@ -29,7 +47,28 @@ func FuzzReader(f *testing.F) {
 					// Parse errors are fine; panics are not (implicit).
 					_ = err
 				}
-				return
+				break
+			}
+			scalar = append(scalar, ins)
+		}
+		// Bulk pass over the same bytes: the replayed prefix must match
+		// the scalar read instruction-for-instruction, whatever the
+		// input's validity.
+		r2, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		rep := NewReplay("fuzz", r2, nil)
+		buf := make([]Instr, 33)
+		for off := 0; off < len(scalar); off += len(buf) {
+			rep.NextBlock(buf)
+			for i := range buf {
+				if off+i >= len(scalar) {
+					break
+				}
+				if buf[i] != scalar[off+i] {
+					t.Fatalf("instr %d: bulk %+v != scalar %+v", off+i, buf[i], scalar[off+i])
+				}
 			}
 		}
 	})

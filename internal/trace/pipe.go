@@ -1,0 +1,100 @@
+package trace
+
+import "runtime"
+
+// Pipe feeds fixed-size instruction blocks from a BlockGenerator to a
+// simulation loop. On multi-core hosts a producer goroutine fills
+// blocks ahead of the consumer, ping-pong double-buffered through a
+// pair of channels, so the wall-clock cost of trace generation hides
+// behind simulation. On a single-CPU host (GOMAXPROCS=1) the goroutine
+// could never overlap the consumer, so the pipe degrades to a
+// synchronous one-arena refill with zero scheduling overhead. Both
+// shapes consume blocks strictly in production order, so the delivered
+// instruction stream is bit-identical to calling the generator inline
+// either way.
+//
+// Cur and Pos are the consumer's cursor into the current block; the
+// consumer advances Pos itself and calls Refill when Pos reaches
+// len(Cur). Keeping the cursor on the Pipe lets one consumption
+// position span several consuming loops (e.g. a warm-up window ending
+// mid-block and the measurement window picking up the remainder).
+//
+// In the threaded shape the generator is owned by the producer
+// goroutine while the pipe is open (channel hand-off orders all its
+// state), and Close must be called before the generator is touched
+// again. The pipe itself is not safe for concurrent consumers.
+type Pipe struct {
+	filled chan []Instr
+	free   chan []Instr
+	stop   chan struct{}
+	done   chan struct{}
+
+	// Cur is the block being consumed; Pos the next index within it.
+	Cur []Instr
+	Pos int
+
+	// bg is set in synchronous (single-CPU) mode; Refill then refills
+	// the single arena inline instead of waiting on the producer.
+	bg  BlockGenerator
+	buf []Instr
+}
+
+// StartPipe allocates the block arenas and, when the runtime has more
+// than one CPU to schedule on, starts the producer goroutine.
+func StartPipe(bg BlockGenerator) *Pipe {
+	if runtime.GOMAXPROCS(0) == 1 {
+		return &Pipe{bg: bg, buf: make([]Instr, BlockSize)}
+	}
+	p := &Pipe{
+		// Capacities match the arena count, so the producer's sends to
+		// filled never block and stop is only contended on free.
+		filled: make(chan []Instr, 2),
+		free:   make(chan []Instr, 2),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	p.free <- make([]Instr, BlockSize)
+	p.free <- make([]Instr, BlockSize)
+	go func() {
+		defer close(p.done)
+		for {
+			var buf []Instr
+			select {
+			case buf = <-p.free:
+			case <-p.stop:
+				return
+			}
+			bg.NextBlock(buf)
+			p.filled <- buf
+		}
+	}()
+	return p
+}
+
+// Refill recycles the consumed block and hands over the next one: an
+// inline refill in synchronous mode, a channel exchange with the
+// producer otherwise.
+func (p *Pipe) Refill() {
+	if p.bg != nil {
+		p.bg.NextBlock(p.buf)
+		p.Cur = p.buf
+		p.Pos = 0
+		return
+	}
+	if p.Cur != nil {
+		p.free <- p.Cur
+	}
+	p.Cur = <-p.filled
+	p.Pos = 0
+}
+
+// Close stops the producer and waits for it to exit, re-establishing
+// exclusive ownership of the generator for the caller. A synchronous
+// pipe has no producer and nothing to do.
+func (p *Pipe) Close() {
+	if p.bg != nil {
+		return
+	}
+	close(p.stop)
+	<-p.done
+}

@@ -6,17 +6,26 @@
 # BENCH_<date>.json (never clobbering an existing snapshot: a second
 # run the same day becomes BENCH_<date>.2.json, then .3, …), and prints
 # the ns/op deltas versus the previous snapshot via benchcmp.sh.
-# BENCHTIME=1x (default) is a smoke-speed run; raise it for
-# steady-state numbers.
+#
+# BENCHTIME (default 1x) and BENCHCOUNT (default 1) are passed to
+# `go test -benchtime/-count` and recorded in a bench_meta line at the
+# top of the snapshot, so benchcmp.sh can flag a comparison of a 1x
+# smoke run against a steady-state one: ns/op from a single cold
+# iteration and from a multi-second warm run are different quantities.
+# BENCHTIME=2s BENCHCOUNT=3 gives steady-state numbers with a best-of
+# across the counts.
 set -eu
 cd "$(dirname "$0")/.."
 BENCHTIME=${BENCHTIME:-1x}
+BENCHCOUNT=${BENCHCOUNT:-1}
 
 prev=$(ls -t BENCH_*.json 2>/dev/null | head -1 || true)
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
-go test -run '^$' -bench . -benchtime "$BENCHTIME" -benchmem -json \
-	. ./internal/core ./internal/obs > "$tmp"
+printf '{"bench_meta":{"benchtime":"%s","count":%s}}\n' \
+	"$BENCHTIME" "$BENCHCOUNT" > "$tmp"
+go test -run '^$' -bench . -benchtime "$BENCHTIME" -count "$BENCHCOUNT" -benchmem -json \
+	. ./internal/core ./internal/obs >> "$tmp"
 
 out="BENCH_$(date +%Y%m%d).json"
 i=2

@@ -2,12 +2,43 @@
 # benchcmp.sh OLD.json NEW.json — compare two `go test -json` benchmark
 # snapshots (BENCH_<date>.json, see `make bench`). Parses the ns/op
 # figure of every benchmark present in NEW and prints the change versus
-# OLD; negative deltas are faster. Stdlib tooling only (sh + awk).
+# OLD; negative deltas are faster. When a snapshot holds several counts
+# of the same benchmark (bench.sh BENCHCOUNT>1), the best (minimum)
+# ns/op is compared — best-of is the noise-robust statistic on a shared
+# machine. Snapshots carry a bench_meta header line recording the
+# -benchtime/-count they were taken with; a mismatch between OLD and
+# NEW is flagged, because a single cold 1x iteration and a warm
+# steady-state run are not comparable quantities. Stdlib tooling only
+# (sh + awk).
 set -eu
 if [ $# -ne 2 ]; then
 	echo "usage: $0 OLD.json NEW.json" >&2
 	exit 2
 fi
+
+meta() {
+	# Extract "benchtime=… count=…" from the bench_meta header, if any.
+	head -1 "$1" | awk '
+		/bench_meta/ {
+			bt = ""; c = ""
+			if (match($0, /"benchtime":"[^"]*"/)) {
+				bt = substr($0, RSTART + 13, RLENGTH - 14)
+			}
+			if (match($0, /"count":[0-9]+/)) {
+				c = substr($0, RSTART + 8, RLENGTH - 8)
+			}
+			printf "benchtime=%s count=%s", bt, c
+		}'
+}
+
+mo=$(meta "$1")
+mn=$(meta "$2")
+if [ -n "$mo" ] || [ -n "$mn" ]; then
+	if [ "$mo" != "$mn" ]; then
+		echo "warning: snapshot settings differ (old: ${mo:-unrecorded}; new: ${mn:-unrecorded}) — deltas compare unlike runs" >&2
+	fi
+fi
+
 awk -v OLD="$1" -v NEW="$2" '
 function parse(file, arr,   line, name, ns) {
 	while ((getline line < file) > 0) {
@@ -18,7 +49,9 @@ function parse(file, arr,   line, name, ns) {
 		if (!match(line, /[0-9][0-9.]* ns\/op/)) continue
 		ns = substr(line, RSTART, RLENGTH)
 		sub(/ ns\/op/, "", ns)
-		arr[name] = ns + 0
+		ns = ns + 0
+		# Best-of across repeated counts of the same benchmark.
+		if (!(name in arr) || ns < arr[name]) arr[name] = ns
 	}
 	close(file)
 }

@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# benchgate.sh — simulator-throughput regression gate. Re-runs the
+# root BenchmarkSimulatorThroughput at steady state (best of GATECOUNT
+# runs of GATETIME each) and compares against the best ns/op recorded
+# for it in the newest committed BENCH_*.json snapshot; exits non-zero
+# if the fresh run is more than GATEPCT percent slower. Best-of on both
+# sides keeps the gate usable on shared, noisy machines; the snapshot
+# being compared against should itself be a steady-state run (see
+# bench.sh BENCHTIME/BENCHCOUNT), not a 1x smoke capture.
+set -eu
+cd "$(dirname "$0")/.."
+GATETIME=${GATETIME:-2s}
+GATECOUNT=${GATECOUNT:-3}
+GATEPCT=${GATEPCT:-10}
+
+snap=$(ls -t BENCH_*.json 2>/dev/null | head -1 || true)
+if [ -z "$snap" ]; then
+	echo "benchgate: no BENCH_*.json snapshot to gate against; skipping"
+	exit 0
+fi
+
+best_ns() {
+	awk '
+		/BenchmarkSimulatorThroughput/ && /ns\/op/ {
+			if (!match($0, /[0-9][0-9.]* ns\/op/)) next
+			ns = substr($0, RSTART, RLENGTH)
+			sub(/ ns\/op/, "", ns)
+			ns = ns + 0
+			if (best == 0 || ns < best) best = ns
+		}
+		END { if (best > 0) printf "%.0f", best }'
+}
+
+base=$(best_ns < "$snap")
+if [ -z "$base" ]; then
+	echo "benchgate: $snap has no SimulatorThroughput entry; skipping"
+	exit 0
+fi
+
+echo "benchgate: running BenchmarkSimulatorThroughput ($GATECOUNT x $GATETIME)..."
+out=$(go test -run '^$' -bench 'BenchmarkSimulatorThroughput$' \
+	-benchtime "$GATETIME" -count "$GATECOUNT" .)
+new=$(printf '%s\n' "$out" | best_ns)
+if [ -z "$new" ]; then
+	echo "benchgate: benchmark produced no ns/op figure" >&2
+	exit 1
+fi
+
+awk -v base="$base" -v new="$new" -v pct="$GATEPCT" -v snap="$snap" 'BEGIN {
+	delta = (new / base - 1) * 100
+	printf "benchgate: snapshot %s best %.0f ns/op, fresh best %.0f ns/op (%+.1f%%)\n", snap, base, new, delta
+	if (delta > pct) {
+		printf "benchgate: FAIL — more than %d%% slower than the committed snapshot\n", pct
+		exit 1
+	}
+	print "benchgate: OK"
+}'

@@ -15,11 +15,13 @@ go build ./...
 go test -race ./...
 
 # Hot-path allocation regression gates: a cache demand access and a
-# steady-state DPCS policy tick must stay at 0 allocs/op, and the
-# metric observation paths must be allocation-free once the series
-# handle is resolved.
+# steady-state DPCS policy tick must stay at 0 allocs/op, the batched
+# simulator inner loop must simulate a whole block without heap
+# allocation, and the metric observation paths must be allocation-free
+# once the series handle is resolved.
 go test -count=1 -run 'TestAccessZeroAllocs' ./internal/cache
 go test -count=1 -run 'TestPolicyTickZeroAllocs' ./internal/core
+go test -count=1 -run 'TestBlockLoopZeroAllocs' ./internal/cpusim
 go test -count=1 -run 'TestHotPathMetricsAllocFree' ./internal/obs
 
 # Tracing gates: the span API must cost nothing when tracing is off
@@ -32,3 +34,8 @@ go test -count=1 -run 'TestTracingDoesNotChangeResults' ./internal/runner
 # crashing or pathologically slow benchmark fails the gate; timings are
 # not archived here (that is `make bench`).
 go test -short -run '^$' -bench . -benchtime 1x -benchmem . ./internal/core ./internal/obs > /dev/null
+
+# Throughput regression gate: fail if the simulator inner loop has
+# regressed more than 10% versus the newest committed BENCH_*.json
+# steady-state snapshot (best-of on both sides; see benchgate.sh).
+sh scripts/benchgate.sh
