@@ -63,6 +63,8 @@ goldens:
 figures:
 	$(GO) run ./cmd/pcs figures
 
+# Removes the built binary plus the droppings of ad-hoc benchmark and
+# profiling runs (`go test -c`/-cpuprofile artifacts, pipe traces).
 clean:
 	$(GO) clean ./...
-	rm -f pcs
+	rm -f pcs repro.test *.prof trace.json

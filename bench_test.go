@@ -11,12 +11,15 @@ package repro_test
 
 import (
 	"context"
+	"encoding/json"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/cpusim"
 	"repro/internal/expers"
 	"repro/internal/multicore"
+	"repro/internal/runner"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -261,4 +264,93 @@ func BenchmarkMulticore(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(r.CoherenceInvalidations), "cohInvals")
+}
+
+// campaignCellGrid builds the mixed campaign the throughput benchmark
+// drives: a realistic blend of analytical cells (min-VDD across
+// geometries, the VDD-level sweep, the bit-cell study — with the
+// duplicate coverage a real sweep has) plus a block of tiny fig4-cell
+// simulations sharing one pinned seed, as Fig. 4 grids do.
+func campaignCellGrid(b *testing.B) runner.Campaign {
+	b.Helper()
+	var jobs []runner.Spec
+	add := func(kind string, params any) {
+		raw, err := json.Marshal(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = append(jobs, runner.Spec{Kind: kind, Params: raw})
+	}
+	for _, size := range []int{32 << 10, 64 << 10, 128 << 10, 256 << 10} {
+		for _, ways := range []int{2, 4, 8} {
+			add("minvdd", expers.MinVDDParams{SizeBytes: size, Ways: ways, BlockBytes: 64})
+		}
+	}
+	for _, ways := range []int{2, 4, 8, 16} {
+		add("minvdd", expers.MinVDDParams{SizeBytes: 64 << 10, Ways: ways, BlockBytes: 64, Yield: 0.995})
+	}
+	for lv := 1; lv <= 8; lv++ {
+		add("vddlevels", expers.VDDLevelsParams{Levels: lv})
+	}
+	for i := 0; i < 4; i++ {
+		add("cells", expers.CellsParams{})
+	}
+	for _, bench := range []string{"hmmer.s", "bzip2.s", "mcf.s", "libquantum.s"} {
+		for _, mode := range []string{"SPCS", "DPCS"} {
+			add("fig4-cell", expers.Fig4CellParams{
+				Config: cpusim.ConfigA(), Mode: mode, Bench: bench,
+				SimInstr: 2_000, Seed: 1,
+			})
+		}
+	}
+	return runner.Campaign{Name: "bench-cell-grid", Seed: 1, Jobs: jobs}
+}
+
+// BenchmarkCampaignCellThroughput measures end-to-end campaign cells per
+// second on the mixed grid. The cold mode reproduces the pre-arena cost
+// structure: per-worker arenas disabled and every memo layer (expers
+// figures, cpusim statics, Zipf tables) dropped at each job start, so
+// each cell rebuilds its analytical models, cache structures, fault
+// maps and workload tables from scratch, exactly as every cell used to.
+// (In-flight jobs may briefly share a just-reset table; that only makes
+// the cold baseline faster, never slower.) The warm mode is the steady
+// state a long sweep runs in: shared memos plus per-worker arenas. The
+// warm/cold ratio is the headline number for the zero-alloc cell work.
+func BenchmarkCampaignCellThroughput(b *testing.B) {
+	reg := expers.NewCampaignRegistry()
+	c := campaignCellGrid(b)
+	drive := func(b *testing.B, opts runner.Options) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			res, err := runner.Run(context.Background(), reg, c, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Failed > 0 {
+				b.Fatalf("%d campaign cells failed", res.Failed)
+			}
+		}
+		b.ReportMetric(float64(len(c.Jobs))*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+	}
+	b.Run("cold", func(b *testing.B) {
+		drive(b, runner.Options{
+			Workers:       4,
+			NoWorkerState: true,
+			OnJobStart: func(int) {
+				expers.ResetMemos()
+				cpusim.ResetStatics()
+				stats.ResetZipfTables()
+			},
+		})
+	})
+	b.Run("warm", func(b *testing.B) {
+		// Prime the memo tables once so the timed region measures the
+		// steady state.
+		expers.ResetMemos()
+		if _, err := runner.Run(context.Background(), reg, c, runner.Options{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		drive(b, runner.Options{Workers: 4})
+	})
 }

@@ -176,6 +176,32 @@ func (c *Cache) Accesses() uint64 { return c.stats.Accesses }
 // ResetStats zeroes the statistics (contents are untouched).
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// Reset returns the cache to the state New constructs, reusing the
+// packed metadata slices so arena-style callers (internal/cpusim's
+// simulation arena) can recycle one allocation across consecutive
+// campaign cells. Only the per-set Valid/Dirty/Faulty bitmasks, the
+// statistics, the LRU clock and the last-hit memo are cleared; the tag
+// and LRU-stamp slices keep their stale contents, which is
+// observationally identical to fresh zeroed slices: a frame's tag is
+// only ever read while its Valid bit is set (hit probe, writeback of a
+// valid victim), and LRU stamps are only compared when every available
+// way is valid — both states are reachable only after the frame was
+// (re)written post-Reset. Victim selection prefers the lowest-numbered
+// invalid way, so the first fills after Reset land exactly where they
+// would in a new cache.
+func (c *Cache) Reset() {
+	clear(c.valid)
+	clear(c.dirty)
+	clear(c.faulty)
+	c.lruClock = 0
+	c.stats = Stats{}
+	c.lastBlk = 0
+	c.lastIdx = 0
+	c.lastSet = 0
+	c.lastBit = 0
+	c.lastOK = false
+}
+
 // indexOf splits an address into set index and tag.
 func (c *Cache) indexOf(addr uint64) (set int, tag uint64) {
 	blk := addr >> c.setShift

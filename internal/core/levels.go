@@ -59,14 +59,36 @@ func SelectLevels(m *faultmodel.Model, nominal, lo, capFloor float64) (LevelPlan
 // construction — the same property the BIST path observes physically.
 func PopulateMapMonteCarlo(rng *stats.RNG, plan LevelPlan, nblocks int) *faultmap.Map {
 	m := faultmap.NewMap(plan.Levels, nblocks)
+	populateMap(rng, plan, m)
+	return m
+}
+
+// PopulateMapMonteCarloInto is PopulateMapMonteCarlo writing into a
+// reusable map (arena path): m is Reset to plan.Levels/nblocks and then
+// filled with exactly the same RNG draw sequence, so a warm buffer and a
+// cold NewMap produce byte-identical maps for the same rng state.
+func PopulateMapMonteCarloInto(rng *stats.RNG, plan LevelPlan, nblocks int, m *faultmap.Map) {
+	m.Reset(plan.Levels, nblocks)
+	populateMap(rng, plan, m)
+}
+
+func populateMap(rng *stats.RNG, plan LevelPlan, m *faultmap.Map) {
 	n := plan.Levels.N()
 	// pFail[k-1] = block failure probability at level k. Probabilities
-	// are non-increasing in voltage, hence non-increasing in k.
-	pFail := make([]float64, n)
+	// are non-increasing in voltage, hence non-increasing in k. The
+	// paper's plans have at most three levels, so the stack array covers
+	// every realistic grid without allocating.
+	var pFailArr [8]float64
+	var pFail []float64
+	if n <= len(pFailArr) {
+		pFail = pFailArr[:n]
+	} else {
+		pFail = make([]float64, n)
+	}
 	for k := 1; k <= n; k++ {
 		pFail[k-1] = plan.Model.PBlockFail(plan.Levels.Volts(k))
 	}
-	for b := 0; b < nblocks; b++ {
+	for b := 0; b < m.NumBlocks(); b++ {
 		u := rng.Float64()
 		fm := 0
 		for k := n; k >= 1; k-- {
@@ -77,7 +99,6 @@ func PopulateMapMonteCarlo(rng *stats.RNG, plan LevelPlan, nblocks int) *faultma
 		}
 		m.SetFM(b, fm)
 	}
-	return m
 }
 
 // EnsureSetsUsable verifies the mechanism's structural constraint on a

@@ -11,11 +11,15 @@
 //
 // A System and everything it owns (controllers, policies, fault maps,
 // the RNG used during construction) is confined to one goroutine: build
-// one System per concurrent simulation. The package itself keeps no
-// global mutable state, so any number of Run/RunContext calls may
-// proceed in parallel as long as each uses its own System and its own
-// trace.Generator. This is the contract internal/runner relies on when
-// it fans campaign jobs out across workers.
+// one System per concurrent simulation. The only package-level state is
+// the statics memo table (see arena.go), which is immutable after first
+// compute and safe for lock-free concurrent reads, so any number of
+// Run/RunContext calls may proceed in parallel as long as each uses its
+// own System and its own trace.Generator. This is the contract
+// internal/runner relies on when it fans campaign jobs out across
+// workers. An Arena is likewise confined to one goroutine, and a
+// System built on it lives only until the next NewSystemArena call on
+// that arena (DESIGN.md §13).
 package cpusim
 
 import (
@@ -25,7 +29,6 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cacti"
 	"repro/internal/core"
-	"repro/internal/device"
 	"repro/internal/faultmap"
 	"repro/internal/faultmodel"
 	"repro/internal/obs"
@@ -132,6 +135,10 @@ type RunOptions struct {
 	// DecisionTransition event per controller voltage transition
 	// (including the initial cycle-0 transitions to the SPCS voltage).
 	Sink obs.PolicySink
+	// Arena, when non-nil, supplies the reusable per-worker simulation
+	// state (see Arena); the run's output is byte-identical with or
+	// without it.
+	Arena *Arena `json:"-"`
 }
 
 // DefaultRunOptions returns the scaled-down defaults used by the test
@@ -187,6 +194,12 @@ type System struct {
 	l1d    *level
 	l2     *level
 	cycles uint64
+	// arena, when non-nil, owns this system's caches, fault maps and
+	// trace blocks; the system is valid until the arena's next build.
+	arena *Arena
+	// seed is the construction seed, kept so the arena can key its
+	// pristine fault-map snapshots (see Arena.faultMapFor).
+	seed uint64
 	// scalarLoop selects the retained per-instruction reference loop
 	// instead of the block pipeline; the differential tests set it.
 	scalarLoop bool
@@ -196,39 +209,69 @@ type System struct {
 // per-cache voltage plans from the BER model and populating fault maps
 // by seeded Monte Carlo.
 func NewSystem(cfg SystemConfig, mode core.Mode, seed uint64) (*System, error) {
+	return NewSystemArena(nil, cfg, mode, seed)
+}
+
+// NewSystemArena is NewSystem drawing all reusable structures from the
+// given arena (nil behaves exactly like NewSystem). The constructed
+// system is byte-for-byte equivalent either way — same RNG draw
+// sequence, same fault maps, same cold-cache contents — but a warm
+// arena supplies the memory without allocating. The returned System is
+// valid only until the next NewSystemArena call on the same arena.
+func NewSystemArena(a *Arena, cfg SystemConfig, mode core.Mode, seed uint64) (*System, error) {
 	ber := sram.NewWangCalhounBER()
-	sys := &System{cfg: cfg, mode: mode, ber: ber}
-	rng := stats.NewRNG(seed ^ 0x9C5_DEAD)
+	sys := &System{cfg: cfg, mode: mode, ber: ber, arena: a, seed: seed}
+	var root *stats.RNG
+	if a != nil {
+		a.rngRoot.Reseed(seed ^ 0x9C5_DEAD)
+		root = &a.rngRoot
+	} else {
+		root = stats.NewRNG(seed ^ 0x9C5_DEAD)
+	}
+	// split reproduces root.Split() without allocating on the arena
+	// path; the single rngLevel is safe because each buildLevel call
+	// finishes with its RNG before the next begins.
+	split := func() *stats.RNG {
+		if a != nil {
+			a.rngLevel.Reseed(root.Uint64())
+			return &a.rngLevel
+		}
+		return root.Split()
+	}
 	var err error
-	if sys.l1i, err = sys.buildLevel(cfg.L1I, rng.Split()); err != nil {
+	if sys.l1i, err = sys.buildLevel(cfg.L1I, split()); err != nil {
 		return nil, err
 	}
-	if sys.l1d, err = sys.buildLevel(cfg.L1D, rng.Split()); err != nil {
+	if sys.l1d, err = sys.buildLevel(cfg.L1D, split()); err != nil {
 		return nil, err
 	}
-	if sys.l2, err = sys.buildLevel(cfg.L2, rng.Split()); err != nil {
+	if sys.l2, err = sys.buildLevel(cfg.L2, split()); err != nil {
 		return nil, err
 	}
 	return sys, nil
 }
 
 func (s *System) buildLevel(spec CacheSpec, rng *stats.RNG) (*level, error) {
-	tech := device.Tech45SOI()
-	cm, err := cacti.New(spec.Org, tech, cacti.DefaultParams())
+	base, err := baseStaticsFor(spec.Org)
 	if err != nil {
 		return nil, err
 	}
-	c := cache.MustNew(cache.Config{
+	ccfg := cache.Config{
 		Name:       spec.Org.Name,
 		SizeBytes:  spec.Org.SizeBytes,
 		Assoc:      spec.Org.Assoc,
 		BlockBytes: spec.Org.BlockBytes,
-	})
+	}
+	var c *cache.Cache
+	if s.arena != nil {
+		c = s.arena.cacheFor(ccfg)
+	} else {
+		c = cache.MustNew(ccfg)
+	}
 
 	lv := &level{spec: spec}
 	if s.mode == core.Baseline {
-		levels := faultmap.MustLevels(tech.VDDNom)
-		ctrl, err := core.NewController(core.Baseline, c, nil, levels, cm, s.cfg.ClockHz, 0)
+		ctrl, err := core.NewController(core.Baseline, c, nil, base.nomLevels, base.cm, s.cfg.ClockHz, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -237,22 +280,21 @@ func (s *System) buildLevel(spec CacheSpec, rng *stats.RNG) (*level, error) {
 	}
 
 	geom := faultmodel.Geometry{Sets: c.Sets(), Ways: c.Ways(), BlockBits: spec.Org.BlockBits()}
-	fm, err := faultmodel.New(geom, s.ber)
+	pcs, err := pcsStaticsFor(spec.Org, geom, s.ber)
 	if err != nil {
 		return nil, err
 	}
-	capFloor := faultmodel.VDD1CapacityFloor(spec.Org.Assoc)
-	plan, err := core.SelectLevels(fm, tech.VDDNom, tech.VDDMin, capFloor)
-	if err != nil {
-		return nil, err
+	lv.plan = pcs.plan
+	var m *faultmap.Map
+	if s.arena != nil {
+		m = s.arena.faultMapFor(ccfg, pcs.plan, c.NumBlocks(), s.seed, rng)
+	} else {
+		m = core.PopulateMapMonteCarlo(rng, pcs.plan, c.NumBlocks())
 	}
-	lv.plan = plan
-	m := core.PopulateMapMonteCarlo(rng, plan, c.NumBlocks())
 	if bad := core.EnsureSetsUsable(m, c.Sets(), c.Ways(), 1); len(bad) > 0 {
 		core.RepairSets(m, c.Ways(), bad)
 	}
-	pcsCM := cm.WithPCS(plan.Levels.FMBits())
-	ctrl, err := core.NewController(s.mode, c, m, plan.Levels, pcsCM, s.cfg.ClockHz, spec.VoltagePenaltyCycles)
+	ctrl, err := core.NewController(s.mode, c, m, pcs.plan.Levels, pcs.pcsCM, s.cfg.ClockHz, spec.VoltagePenaltyCycles)
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +312,7 @@ func (s *System) buildLevel(spec CacheSpec, rng *stats.RNG) (*level, error) {
 			HighThreshold:     s.cfg.HighThreshold,
 			HitCycles:         float64(spec.HitCycles),
 			MissPenaltyCycles: missPenalty,
-			SPCSLevel:         plan.SPCSLevel,
+			SPCSLevel:         pcs.plan.SPCSLevel,
 			Ablate:            s.cfg.Ablate,
 		}, ctrl)
 		if err != nil {
@@ -441,7 +483,7 @@ func Run(cfg SystemConfig, mode core.Mode, w trace.Workload, opts RunOptions) (R
 func RunContext(ctx context.Context, cfg SystemConfig, mode core.Mode, w trace.Workload, opts RunOptions) (Result, error) {
 	parent := tracez.SpanFromContext(ctx)
 	bsp := parent.Child("sim.build")
-	sys, err := NewSystem(cfg, mode, opts.Seed)
+	sys, err := NewSystemArena(opts.Arena, cfg, mode, opts.Seed)
 	bsp.SetStr("config", cfg.Name)
 	bsp.SetStr("mode", mode.String())
 	bsp.End()
@@ -467,7 +509,7 @@ func RunGenerator(cfg SystemConfig, mode core.Mode, gen trace.Generator, opts Ru
 // RunGeneratorContext is RunGenerator with cancellation (see RunContext).
 func RunGeneratorContext(ctx context.Context, cfg SystemConfig, mode core.Mode, gen trace.Generator, opts RunOptions) (Result, error) {
 	bsp := tracez.SpanFromContext(ctx).Child("sim.build")
-	sys, err := NewSystem(cfg, mode, opts.Seed)
+	sys, err := NewSystemArena(opts.Arena, cfg, mode, opts.Seed)
 	bsp.SetStr("config", cfg.Name)
 	bsp.SetStr("mode", mode.String())
 	bsp.End()
@@ -579,7 +621,11 @@ func (sys *System) run(ctx context.Context, gen trace.Generator, opts RunOptions
 	// retained reference loop for differential testing.
 	var p *trace.Pipe
 	if !sys.scalarLoop {
-		p = trace.StartPipe(trace.AsBlock(gen))
+		var pa *trace.PipeArena
+		if sys.arena != nil {
+			pa = &sys.arena.pipes
+		}
+		p = trace.StartPipeArena(trace.AsBlock(gen), pa)
 		defer p.Close()
 	}
 	window := func(n uint64) error {

@@ -34,9 +34,10 @@ type CacheSetup struct {
 	FM    *faultmodel.Model
 }
 
-// NewCacheSetup builds the model stack for an organisation, using
+// newCacheSetup builds the model stack for an organisation, using
 // nLevels allowed VDD levels for fault-map sizing (3 in the paper).
-func NewCacheSetup(org cacti.Org, nLevels int) (*CacheSetup, error) {
+// NewCacheSetup (memos.go) is the memoizing public entry point.
+func newCacheSetup(org cacti.Org, nLevels int) (*CacheSetup, error) {
 	tech := device.Tech45SOI()
 	cm, err := cacti.New(org, tech, cacti.DefaultParams())
 	if err != nil {
@@ -99,8 +100,8 @@ type Fig2Point struct {
 	BER float64
 }
 
-// Fig2 regenerates the paper's Fig. 2: BER versus VDD at 10 mV steps.
-func Fig2() ([]Fig2Point, *report.Table) {
+// fig2 computes Fig. 2 (see the memoizing Fig2 wrapper in memos.go).
+func fig2() ([]Fig2Point, *report.Table) {
 	ber := sram.NewWangCalhounBER()
 	var pts []Fig2Point
 	t := report.NewTable("Fig. 2 — SRAM bit error rate vs VDD (Wang–Calhoun-style model)",
@@ -129,11 +130,8 @@ type Fig3aData struct {
 	WayGate  []Fig3aPoint
 }
 
-// Fig3a regenerates Fig. 3's power/effective-capacity comparison for the
-// given organisation (the paper shows L1 Config A; others behave alike).
-// nLowVDDs configures how many low-voltage levels FFT-Cache must carry
-// fault maps for (2 reproduces the paper's 3-level comparison).
-func Fig3a(org cacti.Org, nLowVDDs int) (Fig3aData, *report.Table, error) {
+// fig3a computes Fig. 3a (see the memoizing Fig3a wrapper in memos.go).
+func fig3a(org cacti.Org, nLowVDDs int) (Fig3aData, *report.Table, error) {
 	cs, err := NewCacheSetup(org, nLowVDDs+1)
 	if err != nil {
 		return Fig3aData{}, nil, err
@@ -221,8 +219,8 @@ type Fig3bRow struct {
 	FFTCache float64
 }
 
-// Fig3b regenerates the usable-blocks comparison of Fig. 3.
-func Fig3b(org cacti.Org) ([]Fig3bRow, *report.Table, error) {
+// fig3b computes Fig. 3b (see the memoizing Fig3b wrapper in memos.go).
+func fig3b(org cacti.Org) ([]Fig3bRow, *report.Table, error) {
 	cs, err := NewCacheSetup(org, 3)
 	if err != nil {
 		return nil, nil, err
@@ -251,9 +249,8 @@ type Fig3cRow struct {
 	TotalW          float64
 }
 
-// Fig3c regenerates the leakage breakdown of Fig. 3 for the proposed
-// mechanism (faulty blocks gated as capacity shrinks).
-func Fig3c(org cacti.Org) ([]Fig3cRow, *report.Table, error) {
+// fig3c computes Fig. 3c (see the memoizing Fig3c wrapper in memos.go).
+func fig3c(org cacti.Org) ([]Fig3cRow, *report.Table, error) {
 	cs, err := NewCacheSetup(org, 3)
 	if err != nil {
 		return nil, nil, err
@@ -294,10 +291,8 @@ type Fig3dRow struct {
 	Proposed     float64
 }
 
-// Fig3d regenerates the yield-vs-VDD comparison of Fig. 3: a baseline
-// with no fault tolerance, SECDED and DECTED at 2-byte subblocks,
-// FFT-Cache, and the proposed mechanism.
-func Fig3d(org cacti.Org) ([]Fig3dRow, *report.Table, error) {
+// fig3d computes Fig. 3d (see the memoizing Fig3d wrapper in memos.go).
+func fig3d(org cacti.Org) ([]Fig3dRow, *report.Table, error) {
 	cs, err := NewCacheSetup(org, 3)
 	if err != nil {
 		return nil, nil, err
@@ -336,8 +331,9 @@ type MinVDDRow struct {
 	OK     bool
 }
 
-// MinVDDs computes each scheme's minimum voltage at 99 % yield.
-func MinVDDs(org cacti.Org) ([]MinVDDRow, *report.Table, error) {
+// minVDDs computes the min-VDD table (see the memoizing MinVDDs
+// wrapper in memos.go).
+func minVDDs(org cacti.Org) ([]MinVDDRow, *report.Table, error) {
 	cs, err := NewCacheSetup(org, 3)
 	if err != nil {
 		return nil, nil, err
@@ -384,10 +380,9 @@ type AreaRow struct {
 	OverheadFraction float64
 }
 
-// AreaOverheads regenerates the Sec. 4.2 area-overhead estimates for all
-// four cache organisations (paper: 2–5 % total, fault map ≤ 4 %,
-// gates < 1 %).
-func AreaOverheads() ([]AreaRow, *report.Table, error) {
+// areaOverheads computes the area-overhead table (see the memoizing
+// AreaOverheads wrapper in memos.go).
+func areaOverheads() ([]AreaRow, *report.Table, error) {
 	var rows []AreaRow
 	t := report.NewTable("Area overheads of the PCS mechanism (Sec. 4.2)",
 		"Cache", "Baseline mm²", "Fault map mm²", "Power gates mm²", "Overhead %")
@@ -422,9 +417,9 @@ type VDDPlanRow struct {
 	DelayDegradationVDD1 float64
 }
 
-// VDDPlans computes the three-level voltage plan for all organisations
-// (the reproduction of Table 2's voltage rows via the paper's 99 % rule).
-func VDDPlans() ([]VDDPlanRow, *report.Table, error) {
+// vddPlans computes the voltage-plan table (see the memoizing VDDPlans
+// wrapper in memos.go).
+func vddPlans() ([]VDDPlanRow, *report.Table, error) {
 	var rows []VDDPlanRow
 	t := report.NewTable("Computed VDD levels (99% capacity VDD2, 99% yield VDD1)",
 		"Cache", "VDD1 (V)", "VDD2 (V)", "VDD3 (V)", "Capacity@VDD1", "Delay@VDD1 (+%)")

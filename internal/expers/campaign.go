@@ -12,7 +12,6 @@ import (
 	"repro/internal/multicore"
 	"repro/internal/obs"
 	"repro/internal/runner"
-	"repro/internal/sram"
 	"repro/internal/trace"
 )
 
@@ -49,7 +48,13 @@ import (
 // seeds.
 func RegisterCampaignKinds(reg *runner.Registry) {
 	reg.MustRegisterKind("cpusim", runCPUSimJob, kindInfo[CPUSimOutput](true))
-	reg.MustRegisterKind("multicore", runMulticoreJob, kindInfo[MulticoreOutput](true))
+	// multicore keeps the L2 host and every core's system live at
+	// once, which the arena's build-invalidates-previous contract
+	// forbids; it runs arena-less and still gets the memoized statics
+	// (see internal/multicore's concurrency contract).
+	mcInfo := kindInfo[MulticoreOutput](true)
+	mcInfo.NewWorkerState = nil
+	reg.MustRegisterKind("multicore", runMulticoreJob, mcInfo)
 	reg.MustRegisterKind("minvdd", runMinVDDJob, kindInfo[MinVDDOutput](false))
 	reg.MustRegisterKind("vddlevels", runVDDLevelsJob, kindInfo[VDDLevelsOutput](false))
 	reg.MustRegisterKind("cells", runCellsJob, kindInfo[[]CellRow](false))
@@ -58,10 +63,13 @@ func RegisterCampaignKinds(reg *runner.Registry) {
 	reg.MustRegisterKind("fig4-cell", runFig4CellJob, kindInfo[cpusim.Result](true))
 }
 
-// kindInfo builds the cache metadata for a kind returning T.
+// kindInfo builds the cache metadata for a kind returning T. Every
+// kind gets a CellArena worker-state factory; the analytical kinds
+// simply never read theirs (their reuse comes from the memo layer).
 func kindInfo[T any](seeded bool) runner.KindInfo {
 	return runner.KindInfo{
-		Seeded: seeded,
+		Seeded:         seeded,
+		NewWorkerState: func() any { return NewCellArena() },
 		DecodeOutput: func(data []byte) (any, error) {
 			var out T
 			if err := json.Unmarshal(data, &out); err != nil {
@@ -204,6 +212,8 @@ func runCPUSimJob(ctx context.Context, seed uint64, params json.RawMessage) (any
 		// sink to the job context rather than to the parameter document,
 		// which must stay deterministic.
 		Sink: obs.PolicySinkFromContext(ctx),
+		// Warm path: reuse this worker's simulation arena (nil when cold).
+		Arena: arenaFromContext(ctx).simArena(),
 	}
 	r, err := cpusim.RunContext(ctx, cfg, mode, w, opts)
 	if err != nil {
@@ -393,9 +403,9 @@ func runMinVDDJob(ctx context.Context, _ uint64, params json.RawMessage) (any, e
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	m, err := faultmodel.New(faultmodel.Geometry{
+	m, err := faultModelFor(faultmodel.Geometry{
 		Sets: p.SizeBytes / (p.BlockBytes * p.Ways), Ways: p.Ways, BlockBits: p.BlockBytes * 8,
-	}, sram.NewWangCalhounBER())
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -530,7 +540,7 @@ func runLeakageJob(ctx context.Context, seed uint64, params json.RawMessage) (an
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	rows, _, err := LeakageComparison(p.SimInstr, seed)
+	rows, _, err := leakageComparison(arenaFromContext(ctx), p.SimInstr, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -593,7 +603,14 @@ func runAblationJob(ctx context.Context, seed uint64, params json.RawMessage) (a
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	opts := cpusim.RunOptions{WarmupInstr: p.WarmupInstr, SimInstr: p.SimInstr, Seed: seed}
+	opts := cpusim.RunOptions{
+		WarmupInstr: p.WarmupInstr,
+		SimInstr:    p.SimInstr,
+		Seed:        seed,
+		// The ablation variants run strictly one at a time, so one
+		// worker arena serves the whole study.
+		Arena: arenaFromContext(ctx).simArena(),
+	}
 	rows, _, err := Ablation(p.Benches, opts)
 	if err != nil {
 		return nil, err

@@ -23,9 +23,9 @@ type CellRow struct {
 	StaticPowerAtSPCS float64 // relative to 6T nominal (leakage factor applied)
 }
 
-// CellComparison evaluates 6T, 8T and 10T cells with and without the PCS
-// mechanism on the Config-A L1 geometry.
-func CellComparison() ([]CellRow, *report.Table, error) {
+// cellComparison computes the bit-cell comparison (see the memoizing
+// CellComparison wrapper in memos.go).
+func cellComparison() ([]CellRow, *report.Table, error) {
 	base := sram.NewWangCalhounBER()
 	geom := faultmodel.Geometry{Sets: 256, Ways: 4, BlockBits: 512}
 	var rows []CellRow

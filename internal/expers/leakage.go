@@ -6,10 +6,9 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/device"
-	"repro/internal/faultmodel"
+	"repro/internal/faultmap"
 	"repro/internal/leakage"
 	"repro/internal/report"
-	"repro/internal/sram"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -31,6 +30,15 @@ type LeakageRow struct {
 // decay saves leakage but destroys state and adds misses; SPCS gets
 // comparable-or-better leakage with a fault story and bounded overhead.
 func LeakageComparison(instructions uint64, seed uint64) ([]LeakageRow, *report.Table, error) {
+	return leakageComparison(nil, instructions, seed)
+}
+
+// leakageComparison is LeakageComparison with an optional per-worker
+// arena: the four standalone caches (baseline, drowsy, decay, SPCS are
+// all live at once, hence the slots) and the fault map come from the
+// arena's pools when one is supplied, and the output is byte-identical
+// either way.
+func leakageComparison(arena *CellArena, instructions uint64, seed uint64) ([]LeakageRow, *report.Table, error) {
 	org := L1ConfigA()
 	tech := device.Tech45SOI()
 	// The scenario every leakage technique targets: an over-provisioned
@@ -43,9 +51,16 @@ func LeakageComparison(instructions uint64, seed uint64) ([]LeakageRow, *report.
 		}},
 	}
 
+	slot := 0
 	newCache := func() *cache.Cache {
-		return cache.MustNew(cache.Config{Name: "L1", SizeBytes: org.SizeBytes,
-			Assoc: org.Assoc, BlockBytes: org.BlockBytes})
+		ccfg := cache.Config{Name: "L1", SizeBytes: org.SizeBytes,
+			Assoc: org.Assoc, BlockBytes: org.BlockBytes}
+		if arena != nil {
+			c := arena.cacheFor(ccfg, slot)
+			slot++
+			return c
+		}
+		return cache.MustNew(ccfg)
 	}
 	const missPenalty = 100
 
@@ -106,20 +121,25 @@ func LeakageComparison(instructions uint64, seed uint64) ([]LeakageRow, *report.
 	})
 	add("gated-Vdd decay [18]", gc.ActiveLineCycles(decayCycles), 1, decayCycles, true, false)
 
-	// SPCS: whole data array at VDD2, faulty blocks gated.
-	fm, err := faultmodel.New(faultmodel.Geometry{
-		Sets: org.Sets(), Ways: org.Assoc, BlockBits: org.BlockBits()},
-		sram.NewWangCalhounBER())
-	if err != nil {
-		return nil, nil, err
-	}
-	plan, err := core.SelectLevels(fm, tech.VDDNom, tech.VDDMin,
-		faultmodel.VDD1CapacityFloor(org.Assoc))
+	// SPCS: whole data array at VDD2, faulty blocks gated. The fault
+	// model and voltage plan are pure derivations of the geometry, so
+	// they come from the memo layer.
+	plan, err := levelPlanFor(org)
 	if err != nil {
 		return nil, nil, err
 	}
 	v2 := plan.Levels.Volts(plan.SPCSLevel)
-	fmap := core.PopulateMapMonteCarlo(stats.NewRNG(seed), plan, org.Blocks())
+	var fmap *faultmap.Map
+	if arena != nil {
+		if arena.fmap == nil {
+			arena.fmap = faultmap.NewMap(plan.Levels, org.Blocks())
+		}
+		arena.rng.Reseed(seed)
+		core.PopulateMapMonteCarloInto(&arena.rng, plan, org.Blocks(), arena.fmap)
+		fmap = arena.fmap
+	} else {
+		fmap = core.PopulateMapMonteCarlo(stats.NewRNG(seed), plan, org.Blocks())
+	}
 	spcsC := newCache()
 	for s := 0; s < spcsC.Sets(); s++ {
 		for w := 0; w < spcsC.Ways(); w++ {

@@ -141,6 +141,8 @@ func runFig4CellJob(ctx context.Context, seed uint64, params json.RawMessage) (a
 		WarmupInstr: p.WarmupInstr,
 		SimInstr:    p.SimInstr,
 		Seed:        seed,
+		// Warm path: reuse this worker's simulation arena (nil when cold).
+		Arena: arenaFromContext(ctx).simArena(),
 	})
 }
 

@@ -124,6 +124,48 @@ func NewMap(levels Levels, nblocks int) *Map {
 	return &Map{levels: levels, fm: make([]uint8, nblocks)}
 }
 
+// Reset reinitialises m to the state NewMap(levels, nblocks) would
+// construct, reusing the FM storage when its capacity suffices. It is
+// the arena-reuse counterpart of NewMap: a per-worker buffer can absorb
+// one fresh fault map per campaign cell without reallocating. The same
+// validation as NewMap applies.
+func (m *Map) Reset(levels Levels, nblocks int) {
+	if nblocks <= 0 {
+		panic(fmt.Sprintf("faultmap: invalid block count %d", nblocks))
+	}
+	if levels.N() == 0 {
+		panic("faultmap: empty levels")
+	}
+	if levels.N() > 254 {
+		panic("faultmap: more than 254 levels not supported by uint8 FM storage")
+	}
+	m.levels = levels
+	if cap(m.fm) >= nblocks {
+		m.fm = m.fm[:nblocks]
+		clear(m.fm)
+	} else {
+		m.fm = make([]uint8, nblocks)
+	}
+}
+
+// SnapshotFM copies the map's FM values into dst (reusing its capacity)
+// and returns the snapshot. Together with RestoreFM it lets an arena
+// keep a pristine copy of an expensive Monte-Carlo population and
+// replay it with a memcpy instead of redrawing.
+func (m *Map) SnapshotFM(dst []uint8) []uint8 {
+	return append(dst[:0], m.fm...)
+}
+
+// RestoreFM overwrites the map's FM values from a snapshot taken by
+// SnapshotFM on an identically-sized map. It panics on a size mismatch:
+// a snapshot only makes sense for the exact population it captured.
+func (m *Map) RestoreFM(snap []uint8) {
+	if len(snap) != len(m.fm) {
+		panic(fmt.Sprintf("faultmap: snapshot of %d blocks restored into map of %d", len(snap), len(m.fm)))
+	}
+	copy(m.fm, snap)
+}
+
 // Levels returns the voltage levels the map encodes against.
 func (m *Map) Levels() Levels { return m.levels }
 

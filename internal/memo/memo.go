@@ -1,0 +1,77 @@
+// Package memo provides a lock-free-on-read memo table for immutable
+// derived data, shared across the campaign runner's workers.
+//
+// The intended use (DESIGN.md §13) is caching deterministic model
+// derivations that every campaign cell would otherwise recompute from
+// scratch: CACTI model stacks, fault-model instances, voltage-level
+// plans, whole analytical figure tables. Keys must completely determine
+// the computed value, and values must never be mutated after Get
+// returns them — they are shared by reference across goroutines with no
+// further synchronisation.
+//
+// # Concurrency contract
+//
+// A Table is safe for concurrent use. The first Get for a key runs the
+// compute function exactly once (concurrent callers for the same key
+// block until it finishes, via a per-entry sync.Once); every later Get
+// is a single sync.Map load with no locking. A compute function that
+// returns an error is also memoized: the key stays failed. Compute
+// functions must not call Get on the same table with the same key
+// (self-deadlock), and should not depend on any mutable state.
+package memo
+
+import "sync"
+
+// Table memoizes (key → value) computations. The zero value is not
+// usable; call NewTable.
+type Table struct {
+	entries sync.Map // comparable key → *entry
+}
+
+// entry is one memoized slot: once guards the single computation, after
+// which val/err are immutable.
+type entry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// NewTable returns an empty memo table.
+func NewTable() *Table {
+	return &Table{}
+}
+
+// Get returns the memoized value for key, computing it with compute on
+// first use. The key must be comparable and must fully determine the
+// computed value. The returned value is shared: callers must treat it
+// (and everything reachable from it) as immutable.
+func Get[V any](t *Table, key any, compute func() (V, error)) (V, error) {
+	e := t.entry(key)
+	e.once.Do(func() {
+		v, err := compute()
+		e.val, e.err = v, err
+	})
+	if e.err != nil {
+		var zero V
+		return zero, e.err
+	}
+	return e.val.(V), nil
+}
+
+// entry returns the slot for key, creating it on first use. The
+// fast path is a single lock-free Load.
+func (t *Table) entry(key any) *entry {
+	if v, ok := t.entries.Load(key); ok {
+		return v.(*entry)
+	}
+	v, _ := t.entries.LoadOrStore(key, &entry{})
+	return v.(*entry)
+}
+
+// Len returns the number of memoized keys (including failed ones);
+// for tests and introspection.
+func (t *Table) Len() int {
+	n := 0
+	t.entries.Range(func(any, any) bool { n++; return true })
+	return n
+}

@@ -1,0 +1,113 @@
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetComputesOnce(t *testing.T) {
+	tbl := NewTable()
+	var calls int32
+	for i := 0; i < 5; i++ {
+		v, err := Get(tbl, "k", func() (int, error) {
+			atomic.AddInt32(&calls, 1)
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Fatalf("Get = %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestGetMemoizesErrors(t *testing.T) {
+	tbl := NewTable()
+	boom := errors.New("boom")
+	var calls int32
+	for i := 0; i < 3; i++ {
+		_, err := Get(tbl, 7, func() (string, error) {
+			atomic.AddInt32(&calls, 1)
+			return "", boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want boom", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("failing compute ran %d times, want 1", calls)
+	}
+}
+
+func TestDistinctKeysDistinctValues(t *testing.T) {
+	type key struct{ a, b int }
+	tbl := NewTable()
+	for i := 0; i < 4; i++ {
+		v, err := Get(tbl, key{a: i, b: i * 2}, func() (int, error) { return i * 10, nil })
+		if err != nil || v != i*10 {
+			t.Fatalf("key %d: Get = %v, %v", i, v, err)
+		}
+	}
+	if tbl.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tbl.Len())
+	}
+}
+
+// TestTableConcurrentReads drives many goroutines through a mix of
+// first-compute and steady-state reads of one shared table; run under
+// -race (scripts/check.sh does) it proves the lock-free read path is
+// sound, which is what lets campaign workers share one memo table.
+func TestTableConcurrentReads(t *testing.T) {
+	tbl := NewTable()
+	const goroutines = 16
+	const keys = 8
+	var computes int32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				k := (g + iter) % keys
+				v, err := Get(tbl, k, func() ([]int, error) {
+					atomic.AddInt32(&computes, 1)
+					return []int{k, k * k}, nil
+				})
+				if err != nil {
+					t.Errorf("Get(%d): %v", k, err)
+					return
+				}
+				if v[0] != k || v[1] != k*k {
+					t.Errorf("Get(%d) = %v, want [%d %d]", k, v, k, k*k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if computes != keys {
+		t.Fatalf("computed %d entries, want exactly %d (one per key)", computes, keys)
+	}
+}
+
+func TestGetTypeSafety(t *testing.T) {
+	tbl := NewTable()
+	v, err := Get(tbl, "s", func() (fmt.Stringer, error) { return dummy{}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "dummy" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+type dummy struct{}
+
+func (dummy) String() string { return "dummy" }

@@ -22,6 +22,12 @@
 // Parallelism happens one level up: build one System per concurrent
 // Run/RunContext call — the package has no global mutable state, which
 // is what lets internal/runner fan multicore jobs out across workers.
+//
+// Multicore is excluded from the per-worker arenas of DESIGN.md §13: a
+// System keeps the shared-L2 host and every per-core cpusim.System live
+// at the same time, so a single resettable arena cannot back them. It
+// still benefits from the memoized CACTI/fault-model statics, which are
+// immutable after first compute and safe to share across goroutines.
 package multicore
 
 import (

@@ -28,6 +28,15 @@ type KindInfo struct {
 	// Unseeded (analytical) kinds hash with seed 0, so the same cell is
 	// shared across campaigns regardless of master seed.
 	Seeded bool
+	// NewWorkerState, when non-nil, constructs the kind's reusable
+	// per-worker state (e.g. a simulation arena). Each worker goroutine
+	// builds the state lazily on its first job of the kind and passes
+	// it to every later job of that kind via WorkerStateFromContext, so
+	// the state is goroutine-confined by construction. Kind functions
+	// must produce byte-identical output with or without it (campaign
+	// outputs may not depend on worker count or job order), which
+	// Options.NoWorkerState exists to verify.
+	NewWorkerState func() any
 }
 
 // Registry maps experiment kinds to their implementations. The zero

@@ -174,6 +174,12 @@ type Options struct {
 	// store before any job starts, so callers can flush-and-fsync the
 	// wall-clock sidecars on demand (server drain).
 	OnArtifacts func(ArtifactSyncer)
+	// NoWorkerState disables per-worker reusable state (KindInfo's
+	// NewWorkerState): every job then runs cold, allocating from
+	// scratch. Outputs must be byte-identical either way; differential
+	// tests and cold benchmarks set this to compare against the warm
+	// arena path.
+	NoWorkerState bool
 }
 
 // ArtifactSyncer flushes buffered artifact sidecars (timeline.jsonl,
@@ -328,6 +334,10 @@ func Run(ctx context.Context, reg *Registry, c Campaign, opts Options) (*Campaig
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			// states holds this worker's reusable per-kind state (see
+			// KindInfo.NewWorkerState), built lazily and confined to
+			// this goroutine for the campaign's lifetime.
+			var states map[string]any
 			for i := range indices {
 				mu.Lock()
 				prog.Running++
@@ -338,7 +348,10 @@ func Run(ctx context.Context, reg *Registry, c Campaign, opts Options) (*Campaig
 				if store != nil {
 					store.jobStarted(i, c.Jobs[i])
 				}
-				results[i] = runJob(ctxJobs, reg, c, i, worker, opts)
+				if states == nil {
+					states = make(map[string]any)
+				}
+				results[i] = runJob(ctxJobs, reg, c, i, worker, states, opts)
 				finish(results[i])
 			}
 		}(w)
@@ -402,7 +415,7 @@ feed:
 // campaign span when tracing is on, nothing otherwise) with cache
 // probe / store write children, and the resource-attribution probe
 // whose block rides the job's terminal timeline event.
-func runJob(ctx context.Context, reg *Registry, c Campaign, i, worker int, opts Options) (res JobResult) {
+func runJob(ctx context.Context, reg *Registry, c Campaign, i, worker int, states map[string]any, opts Options) (res JobResult) {
 	spec := c.Jobs[i]
 	res = JobResult{Index: i, Kind: spec.Kind, Name: spec.Name, Seed: JobSeed(c.Seed, i)}
 	tr := tracez.FromContext(ctx)
@@ -442,11 +455,24 @@ func runJob(ctx context.Context, reg *Registry, c Campaign, i, worker int, opts 
 		ctx = opts.JobContext(ctx, i, spec)
 	}
 	fn, _ := reg.Lookup(spec.Kind)
+	info := reg.Info(spec.Kind)
+
+	// Per-worker reusable state: built on the worker's first job of
+	// this kind, then handed to every later one. Disabled (cold path)
+	// under Options.NoWorkerState.
+	if !opts.NoWorkerState && info.NewWorkerState != nil {
+		st, ok := states[spec.Kind]
+		if !ok {
+			st = info.NewWorkerState()
+			states[spec.Kind] = st
+		}
+		ctx = ContextWithWorkerState(ctx, st)
+	}
 
 	// Content-addressed memoization: only kinds that can reconstruct
 	// their concrete output type from stored bytes participate.
 	var cacheKey string
-	if info := reg.Info(spec.Kind); opts.Cache != nil && info.DecodeOutput != nil {
+	if opts.Cache != nil && info.DecodeOutput != nil {
 		key, err := resultstore.Key(spec.Kind, spec.Params, effectiveSeed(info, spec.Params, res.Seed), opts.CodeVersion)
 		if err == nil {
 			cacheKey = key

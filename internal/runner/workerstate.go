@@ -1,0 +1,24 @@
+package runner
+
+import "context"
+
+// workerStateKey carries a job's per-worker reusable state (see
+// KindInfo.NewWorkerState) through the context.
+type workerStateKey struct{}
+
+// ContextWithWorkerState returns ctx carrying the per-worker state st.
+// The runner attaches it before invoking a kind function whose
+// KindInfo declared a NewWorkerState factory; tests may attach one
+// directly to exercise a kind's warm path without a campaign.
+func ContextWithWorkerState(ctx context.Context, st any) context.Context {
+	return context.WithValue(ctx, workerStateKey{}, st)
+}
+
+// WorkerStateFromContext returns the per-worker state attached by
+// ContextWithWorkerState, or nil when the job runs cold (no factory
+// registered, Options.NoWorkerState, or a direct call outside the
+// runner). Kind functions must treat nil as "allocate fresh" and
+// produce byte-identical output either way.
+func WorkerStateFromContext(ctx context.Context) any {
+	return ctx.Value(workerStateKey{})
+}

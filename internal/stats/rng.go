@@ -51,6 +51,17 @@ func splitMix64(state *uint64) uint64 {
 // Two RNGs constructed with the same seed produce identical streams.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets r in place to the state NewRNG(seed) would construct,
+// clearing any cached Box-Muller deviate. Arena-style reuse calls it so
+// a long-lived RNG value reproduces a freshly constructed generator
+// draw for draw without allocating: after r.Reseed(s), r's stream is
+// identical to NewRNG(s)'s, and r.Reseed(parent.Uint64()) reproduces
+// parent.Split() exactly.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	r.s0 = splitMix64(&sm)
 	r.s1 = splitMix64(&sm)
@@ -60,7 +71,8 @@ func NewRNG(seed uint64) *RNG {
 	if r.s0|r.s1|r.s2|r.s3 == 0 {
 		r.s0 = 0x9e3779b97f4a7c15
 	}
-	return r
+	r.haveSpare = false
+	r.spare = 0
 }
 
 // Uint64 returns the next 64 uniformly distributed bits. It is written

@@ -1,6 +1,9 @@
 package stats
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Zipf samples from a Zipf(s) distribution over {0, 1, ..., n-1}:
 // P(k) proportional to 1/(k+1)^s. It precomputes the CDF and samples by
@@ -30,6 +33,35 @@ type Zipf struct {
 // cap get one bucket per element (search range width <= 1).
 const zipfMaxBuckets = 4096
 
+// zipfTables memoizes the immutable CDF/radix tables by (n, s): the
+// tables are pure math.Pow derivations, every workload generator built
+// for the same phase parameters recomputes identical ones, and Draw
+// only ever reads them — so samplers across goroutines share one copy.
+// The set of (n, s) pairs is the fixed workload catalogue, so the map
+// never grows beyond a handful of entries in practice.
+var zipfTables sync.Map // zipfKey -> *zipfTable
+
+type zipfKey struct {
+	n int
+	s float64
+}
+
+type zipfTable struct {
+	cdf []float64
+	idx []int32
+	nbf float64
+}
+
+// ResetZipfTables drops the memoized Zipf tables, so the next NewZipf
+// of each (n, s) recomputes from scratch. Benchmarks use it to measure
+// the cold construction path; samplers already built keep their tables.
+func ResetZipfTables() {
+	zipfTables.Range(func(k, _ any) bool {
+		zipfTables.Delete(k)
+		return true
+	})
+}
+
 // NewZipf creates a Zipf sampler over n elements with exponent s >= 0.
 // s == 0 degenerates to the uniform distribution.
 func NewZipf(rng *RNG, n int, s float64) *Zipf {
@@ -38,6 +70,11 @@ func NewZipf(rng *RNG, n int, s float64) *Zipf {
 	}
 	if s < 0 {
 		panic("stats: NewZipf called with s < 0")
+	}
+	key := zipfKey{n: n, s: s}
+	if t, ok := zipfTables.Load(key); ok {
+		tab := t.(*zipfTable)
+		return &Zipf{cdf: tab.cdf, rng: rng, idx: tab.idx, nbf: tab.nbf}
 	}
 	cdf := make([]float64, n)
 	sum := 0.0
@@ -64,6 +101,7 @@ func NewZipf(rng *RNG, n int, s float64) *Zipf {
 		}
 		idx[b] = int32(k)
 	}
+	zipfTables.Store(key, &zipfTable{cdf: cdf, idx: idx, nbf: nbf})
 	return &Zipf{cdf: cdf, rng: rng, idx: idx, nbf: nbf}
 }
 

@@ -37,13 +37,58 @@ type Pipe struct {
 	// the single arena inline instead of waiting on the producer.
 	bg  BlockGenerator
 	buf []Instr
+
+	// arena, when non-nil, receives the block arenas back on Close so
+	// the next pipe on the same worker reuses them.
+	arena *PipeArena
+}
+
+// PipeArena is a pool of block arenas for consecutive pipes on one
+// worker: StartPipeArena draws its blocks from the pool and Close
+// returns them, so a campaign worker running many short simulations
+// allocates its trace blocks once. A PipeArena is confined to one
+// goroutine between pipe lifetimes (the pipe's own producer hand-off
+// covers the threaded window); the zero value is ready to use.
+type PipeArena struct {
+	bufs [][]Instr
+}
+
+// take hands out a pooled block, allocating when the pool is empty.
+func (a *PipeArena) take() []Instr {
+	if n := len(a.bufs); n > 0 {
+		b := a.bufs[n-1]
+		a.bufs = a.bufs[:n-1]
+		return b
+	}
+	return make([]Instr, BlockSize)
+}
+
+// put returns a block to the pool.
+func (a *PipeArena) put(b []Instr) {
+	if b != nil {
+		a.bufs = append(a.bufs, b)
+	}
 }
 
 // StartPipe allocates the block arenas and, when the runtime has more
 // than one CPU to schedule on, starts the producer goroutine.
 func StartPipe(bg BlockGenerator) *Pipe {
+	return StartPipeArena(bg, nil)
+}
+
+// StartPipeArena is StartPipe drawing the block arenas from a pool
+// (nil behaves exactly like StartPipe). The delivered instruction
+// stream is identical either way; only where the blocks' memory comes
+// from changes.
+func StartPipeArena(bg BlockGenerator, arena *PipeArena) *Pipe {
 	if runtime.GOMAXPROCS(0) == 1 {
-		return &Pipe{bg: bg, buf: make([]Instr, BlockSize)}
+		p := &Pipe{bg: bg, arena: arena}
+		if arena != nil {
+			p.buf = arena.take()
+		} else {
+			p.buf = make([]Instr, BlockSize)
+		}
+		return p
 	}
 	p := &Pipe{
 		// Capacities match the arena count, so the producer's sends to
@@ -52,9 +97,15 @@ func StartPipe(bg BlockGenerator) *Pipe {
 		free:   make(chan []Instr, 2),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
+		arena:  arena,
 	}
-	p.free <- make([]Instr, BlockSize)
-	p.free <- make([]Instr, BlockSize)
+	if arena != nil {
+		p.free <- arena.take()
+		p.free <- arena.take()
+	} else {
+		p.free <- make([]Instr, BlockSize)
+		p.free <- make([]Instr, BlockSize)
+	}
 	go func() {
 		defer close(p.done)
 		for {
@@ -89,12 +140,35 @@ func (p *Pipe) Refill() {
 }
 
 // Close stops the producer and waits for it to exit, re-establishing
-// exclusive ownership of the generator for the caller. A synchronous
-// pipe has no producer and nothing to do.
+// exclusive ownership of the generator for the caller; a synchronous
+// pipe has no producer. Arena-backed pipes then return their blocks to
+// the pool: once the producer has exited, every block is either Cur or
+// parked in one of the channels (the producer never holds one across
+// its select), so a non-blocking drain recovers all of them.
 func (p *Pipe) Close() {
 	if p.bg != nil {
+		if p.arena != nil {
+			p.arena.put(p.buf)
+			p.buf = nil
+			p.Cur = nil
+		}
 		return
 	}
 	close(p.stop)
 	<-p.done
+	if p.arena == nil {
+		return
+	}
+	p.arena.put(p.Cur)
+	p.Cur = nil
+	for {
+		select {
+		case b := <-p.filled:
+			p.arena.put(b)
+		case b := <-p.free:
+			p.arena.put(b)
+		default:
+			return
+		}
+	}
 }

@@ -30,6 +30,19 @@ go test -count=1 -run 'TestHotPathMetricsAllocFree' ./internal/obs
 go test -count=1 -run 'TestTracingOffZeroAllocs' ./internal/obs/tracez
 go test -count=1 -run 'TestTracingDoesNotChangeResults' ./internal/runner
 
+# Arena/memo gates (DESIGN.md §13): analytical cells must stay at
+# <= 10 allocs/op once the memo layer is warm, warm (arena-reused)
+# campaign output must be byte-identical to cold at every worker count,
+# and the memo table must serve concurrent readers race-free.
+go test -count=1 -run 'TestAnalyticalSteadyStateAllocs' ./internal/expers
+go test -count=1 -run 'TestArenaDifferential' ./internal/expers
+go test -count=1 -race -run 'TestTableConcurrentReads' ./internal/memo
+
+# Campaign-cell throughput smoke: one cold and one warm pass of the
+# mixed grid so the end-to-end cells/sec benchmark stays runnable; the
+# archived numbers come from `make bench`.
+go test -run '^$' -bench 'BenchmarkCampaignCellThroughput' -benchtime 1x . > /dev/null
+
 # Short-mode benchmark smoke run: one iteration of every benchmark so a
 # crashing or pathologically slow benchmark fails the gate; timings are
 # not archived here (that is `make bench`).
