@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/cacti"
 	"repro/internal/cli"
@@ -18,23 +19,25 @@ import (
 // binary as a subcommand.
 func analyticalCommand() *cli.Command {
 	var (
-		fig2  bool
-		fig3a bool
-		fig3b bool
-		fig3c bool
-		fig3d bool
-		area  bool
-		vdd   bool
-		gap   bool
-		organ bool
-		all   bool
-		orgN  string
-		csv   bool
+		fig2      bool
+		fig3a     bool
+		fig3b     bool
+		fig3c     bool
+		fig3d     bool
+		area      bool
+		vdd       bool
+		gap       bool
+		organ     bool
+		all       bool
+		orgN      string
+		csv       bool
+		mechsCSV  string
+		listMechs bool
 	)
 	return &cli.Command{
 		Name:    "analytical",
 		Summary: "print the analytical results (Fig. 2/3, area overheads, voltage plans)",
-		Usage:   "[-fig2] [-fig3a] [-fig3b] [-fig3c] [-fig3d] [-area] [-vdd] [-gap] [-organize] [-org l1a|l2a|l1b|l2b] [-csv]",
+		Usage:   "[-fig2] [-fig3a] [-fig3b] [-fig3c] [-fig3d] [-area] [-vdd] [-gap] [-organize] [-org l1a|l2a|l1b|l2b] [-mechanisms a,b,...] [-list-mechanisms] [-csv]",
 		SetFlags: func(fs *flag.FlagSet) {
 			fs.BoolVar(&fig2, "fig2", false, "print Fig. 2 (BER vs VDD)")
 			fs.BoolVar(&fig3a, "fig3a", false, "print Fig. 3a (static power vs effective capacity)")
@@ -47,10 +50,21 @@ func analyticalCommand() *cli.Command {
 			fs.BoolVar(&organ, "organize", false, "print the CACTI-style subarray organisation exploration")
 			fs.BoolVar(&all, "all", false, "print everything")
 			fs.StringVar(&orgN, "org", "l1a", "cache organisation: l1a, l2a, l1b, l2b")
+			fs.StringVar(&mechsCSV, "mechanisms", "",
+				"comma-separated mechanism selection for the Fig. 3 comparisons (default: the paper's set; see -list-mechanisms)")
+			fs.BoolVar(&listMechs, "list-mechanisms", false, "print the mechanism registry and exit")
 			fs.BoolVar(&csv, "csv", false, "emit CSV instead of aligned tables")
 		},
 		Run: func(fs *flag.FlagSet) error {
+			render := func(t *report.Table) error { return renderTable(t, csv) }
+			if listMechs {
+				return render(expers.MechanismList())
+			}
 			org, err := pickOrg(orgN)
+			if err != nil {
+				return err
+			}
+			mechNames, err := parseMechanisms(mechsCSV)
 			if err != nil {
 				return err
 			}
@@ -58,7 +72,6 @@ func analyticalCommand() *cli.Command {
 				all = true
 			}
 			out := os.Stdout
-			render := func(t *report.Table) error { return renderTable(t, csv) }
 
 			if all || fig2 {
 				_, t := expers.Fig2()
@@ -67,7 +80,12 @@ func analyticalCommand() *cli.Command {
 				}
 			}
 			if all || fig3a {
-				_, t, err := expers.Fig3a(org, 2)
+				var t *report.Table
+				if mechNames == nil {
+					_, t, err = expers.Fig3a(org, 2)
+				} else {
+					_, t, err = expers.Fig3aMechs(org, 2, mechNames)
+				}
 				if err != nil {
 					return err
 				}
@@ -75,13 +93,18 @@ func analyticalCommand() *cli.Command {
 					return err
 				}
 			}
-			if all || gap || fig3a {
+			if (all || gap || fig3a) && hasMech(mechNames, "proposed") && hasMech(mechNames, "fftcache") {
 				if err := printGaps(out, org); err != nil {
 					return err
 				}
 			}
 			if all || fig3b {
-				_, t, err := expers.Fig3b(org)
+				var t *report.Table
+				if mechNames == nil {
+					_, t, err = expers.Fig3b(org)
+				} else {
+					_, t, err = expers.Fig3bMechs(org, mechNames)
+				}
 				if err != nil {
 					return err
 				}
@@ -99,19 +122,40 @@ func analyticalCommand() *cli.Command {
 				}
 			}
 			if all || fig3d {
-				_, t, err := expers.Fig3d(org)
+				var t, mt *report.Table
+				if mechNames == nil {
+					_, t, err = expers.Fig3d(org)
+				} else {
+					_, t, err = expers.Fig3dMechs(org, mechNames)
+				}
 				if err != nil {
 					return err
 				}
 				if err := render(t); err != nil {
 					return err
 				}
-				_, mt, err := expers.MinVDDs(org)
+				if mechNames == nil {
+					_, mt, err = expers.MinVDDs(org)
+				} else {
+					_, mt, err = expers.MinVDDMechs(org, mechNames)
+				}
 				if err != nil {
 					return err
 				}
 				if err := render(mt); err != nil {
 					return err
+				}
+				// Scheme-specific extra tables (TS-Cache replay penalty,
+				// L2C2 salvage study, ...). The paper's default set has
+				// none, so the golden output is unchanged.
+				extra, err := expers.MechanismTables(org, mechNames)
+				if err != nil {
+					return err
+				}
+				for _, et := range extra {
+					if err := render(et); err != nil {
+						return err
+					}
 				}
 			}
 			if all || area {
@@ -121,6 +165,15 @@ func analyticalCommand() *cli.Command {
 				}
 				if err := render(t); err != nil {
 					return err
+				}
+				if mechNames != nil {
+					_, mt, err := expers.MechanismAreas(org, mechNames)
+					if err != nil {
+						return err
+					}
+					if err := render(mt); err != nil {
+						return err
+					}
 				}
 			}
 			if all || vdd {
@@ -168,18 +221,41 @@ func printOrganization(org cacti.Org, render func(*report.Table) error) error {
 }
 
 func pickOrg(name string) (cacti.Org, error) {
-	switch name {
-	case "l1a":
-		return expers.L1ConfigA(), nil
-	case "l2a":
-		return expers.L2ConfigA(), nil
-	case "l1b":
-		return expers.L1ConfigB(), nil
-	case "l2b":
-		return expers.L2ConfigB(), nil
-	default:
-		return cacti.Org{}, fmt.Errorf("unknown org %q (want l1a, l2a, l1b or l2b)", name)
+	return expers.OrgByName(name)
+}
+
+// parseMechanisms parses a -mechanisms selection. An empty flag returns
+// nil: the commands then take the legacy fixed-shape code paths, which
+// render the registry's default set. A non-empty selection is resolved
+// eagerly so typos fail before any table prints.
+func parseMechanisms(csv string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
 	}
+	var names []string
+	for _, n := range strings.Split(csv, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if _, err := expers.ResolveMechanisms(names); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+// hasMech reports whether a -mechanisms selection contains name; a nil
+// selection means the default set, which contains every default entry.
+func hasMech(names []string, name string) bool {
+	if names == nil {
+		return true
+	}
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 func printGaps(w io.Writer, org cacti.Org) error {

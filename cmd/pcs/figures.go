@@ -18,20 +18,27 @@ import (
 // Fig. 4 bar panels. The old pcs-figures binary as a subcommand.
 func figuresCommand() *cli.Command {
 	var (
-		outDir string
-		sim    bool
-		instr  uint64
+		outDir   string
+		sim      bool
+		instr    uint64
+		mechsCSV string
 	)
 	return &cli.Command{
 		Name:    "figures",
 		Summary: "render the paper figures as SVG files",
-		Usage:   "[-o dir] [-sim] [-instr N]",
+		Usage:   "[-o dir] [-mechanisms a,b,...] [-sim] [-instr N]",
 		SetFlags: func(fs *flag.FlagSet) {
 			fs.StringVar(&outDir, "o", "figures", "output directory for SVG files")
+			fs.StringVar(&mechsCSV, "mechanisms", "",
+				"comma-separated mechanism selection for the Fig. 3 panels (default: the paper's set)")
 			fs.BoolVar(&sim, "sim", false, "also run the (slow) Fig. 4 simulation panels")
 			fs.Uint64Var(&instr, "instr", 4_000_000, "instructions per simulation run with -sim")
 		},
 		Run: func(fs *flag.FlagSet) error {
+			mechNames, err := parseMechanisms(mechsCSV)
+			if err != nil {
+				return err
+			}
 			if err := os.MkdirAll(outDir, 0o755); err != nil {
 				return err
 			}
@@ -69,48 +76,37 @@ func figuresCommand() *cli.Command {
 				return err
 			}
 
-			// Fig. 3a: static power vs effective capacity.
-			d3a, _, err := expers.Fig3a(expers.L1ConfigA(), 2)
+			// Fig. 3a: static power vs effective capacity, one series per
+			// selected mechanism (scaling curves plus step curves).
+			sel3a, _, err := expers.Fig3aMechs(expers.L1ConfigA(), 2, mechNames)
 			if err != nil {
 				return err
 			}
 			if err := write("fig3a_power_capacity.svg", func(f *os.File) error {
 				c := plot.Chart{Title: "Fig. 3a — static power vs effective capacity (L1-A)",
 					XLabel: "proportion of usable blocks", YLabel: "static power (W)"}
-				curve := func(ps []expers.Fig3aPoint) (xs, ys []float64) {
-					for _, p := range ps {
-						xs = append(xs, p.Capacity)
-						ys = append(ys, p.PowerW)
-					}
-					return
+				for _, cv := range sel3a.Curves {
+					c.Add(cv.Label, cv.Capacity, cv.PowerW)
 				}
-				xs, ys := curve(d3a.Proposed)
-				c.Add("proposed", xs, ys)
-				xs, ys = curve(d3a.FFTCache)
-				c.Add("FFT-Cache", xs, ys)
-				xs, ys = curve(d3a.WayGate)
-				c.Add("way gating", xs, ys)
+				for _, st := range sel3a.Steps {
+					c.Add(st.Label, st.Caps, st.Watts)
+				}
 				return c.Render(f)
 			}); err != nil {
 				return err
 			}
 
 			// Fig. 3b: usable blocks vs VDD.
-			rows3b, _, err := expers.Fig3b(expers.L1ConfigA())
+			curves3b, _, err := expers.Fig3bMechs(expers.L1ConfigA(), mechNames)
 			if err != nil {
 				return err
 			}
 			if err := write("fig3b_capacity.svg", func(f *os.File) error {
 				c := plot.Chart{Title: "Fig. 3b — proportion of usable blocks vs VDD (L1-A)",
 					XLabel: "data array cell VDD (V)", YLabel: "usable fraction"}
-				var xs, yp, yf []float64
-				for _, r := range rows3b {
-					xs = append(xs, r.VDD)
-					yp = append(yp, r.Proposed)
-					yf = append(yf, r.FFTCache)
+				for _, cv := range curves3b {
+					c.Add(cv.Label, cv.VDDs, cv.Capacity)
 				}
-				c.Add("proposed", xs, yp)
-				c.Add("FFT-Cache", xs, yf)
 				return c.Render(f)
 			}); err != nil {
 				return err
@@ -142,27 +138,16 @@ func figuresCommand() *cli.Command {
 			}
 
 			// Fig. 3d: yield vs VDD.
-			rows3d, _, err := expers.Fig3d(expers.L1ConfigA())
+			curves3d, _, err := expers.Fig3dMechs(expers.L1ConfigA(), mechNames)
 			if err != nil {
 				return err
 			}
 			if err := write("fig3d_yield.svg", func(f *os.File) error {
 				c := plot.Chart{Title: "Fig. 3d — yield vs VDD (L1-A)",
 					XLabel: "data array cell VDD (V)", YLabel: "yield"}
-				var xs, yc, ys, yd, yf, yp []float64
-				for _, r := range rows3d {
-					xs = append(xs, r.VDD)
-					yc = append(yc, r.Conventional)
-					ys = append(ys, r.SECDED)
-					yd = append(yd, r.DECTED)
-					yf = append(yf, r.FFTCache)
-					yp = append(yp, r.Proposed)
+				for _, cv := range curves3d {
+					c.Add(cv.Label, cv.VDDs, cv.Yield)
 				}
-				c.Add("conventional", xs, yc)
-				c.Add("SECDED", xs, ys)
-				c.Add("DECTED", xs, yd)
-				c.Add("FFT-Cache", xs, yf)
-				c.Add("proposed", xs, yp)
 				return c.Render(f)
 			}); err != nil {
 				return err

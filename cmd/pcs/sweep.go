@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"repro/internal/cli"
@@ -19,7 +20,7 @@ import (
 
 // sweepCommand explores the design space around the paper's mechanism —
 // the old pcs-sweep binary as a subcommand. Studies always run in the
-// canonical order (assoc, levels, cells, leakage, dpcs, ablate)
+// canonical order (assoc, levels, cells, leakage, dpcs, ablate, mechs)
 // whichever way they are selected, so output stays comparable across
 // invocations.
 func sweepCommand() *cli.Command {
@@ -36,6 +37,7 @@ func sweepCommand() *cli.Command {
 		timeline bool
 		traceOn  bool
 		cacheDir string
+		mechsCSV string
 		prof     profiler
 	)
 	summaries := map[string]string{
@@ -45,16 +47,19 @@ func sweepCommand() *cli.Command {
 		"leakage": "compare drowsy/decay/SPCS leakage techniques",
 		"dpcs":    "sweep DPCS policy parameters",
 		"ablate":  "run the DPCS policy ablation study",
+		"mechs":   "compare registered fault-tolerance mechanisms at 99% yield",
 	}
 	return &cli.Command{
 		Name:    "sweep",
-		Summary: "run the design-space studies (min-VDD geometry, VDD levels, cells, leakage, DPCS policy, ablation)",
-		Usage:   "[-spec file] [-assoc] [-levels] [-cells] [-leakage] [-dpcs] [-ablate] [flags]",
+		Summary: "run the design-space studies (min-VDD geometry, VDD levels, cells, leakage, DPCS policy, ablation, mechanisms)",
+		Usage:   "[-spec file] [-assoc] [-levels] [-cells] [-leakage] [-dpcs] [-ablate] [-mechs] [flags]",
 		SetFlags: func(fs *flag.FlagSet) {
 			fs.StringVar(&spec, "spec", "", "experiment spec file (.json or .toml) with a \"sweep\" section")
 			for _, name := range expers.StudyNames() {
 				study[name] = fs.Bool(name, false, summaries[name])
 			}
+			fs.StringVar(&mechsCSV, "mechanisms", "",
+				"comma-separated mechanism selection for -mechs (default: every registered mechanism)")
 			fs.StringVar(&bench, "bench", "bzip2.s", "benchmark for -dpcs")
 			fs.Uint64Var(&instr, "instr", 4_000_000, "instructions for -dpcs, -leakage and -ablate runs")
 			fs.Uint64Var(&seed, "seed", 1, "seed pinned into the simulation-backed studies")
@@ -105,6 +110,13 @@ func sweepCommand() *cli.Command {
 				if !set["workers"] && doc.Workers > 0 {
 					workers = doc.Workers
 				}
+				if !set["mechanisms"] && len(doc.Sweep.Mechanisms) > 0 {
+					mechsCSV = strings.Join(doc.Sweep.Mechanisms, ",")
+				}
+			}
+			mechNames, err := parseMechanisms(mechsCSV)
+			if err != nil {
+				return err
 			}
 			if len(selected) == 0 {
 				selected = expers.StudyNames()
@@ -134,7 +146,12 @@ func sweepCommand() *cli.Command {
 				if !contains(selected, name) {
 					continue
 				}
-				st, err := expers.StudyByName(name, bench, instr, seed)
+				var st expers.Study
+				if name == "mechs" && mechNames != nil {
+					st, err = expers.MechStudy(mechNames)
+				} else {
+					st, err = expers.StudyByName(name, bench, instr, seed)
+				}
 				if err != nil {
 					return err
 				}

@@ -41,6 +41,7 @@ import (
 	"strings"
 
 	"repro/internal/expers"
+	"repro/internal/mechanism"
 	"repro/internal/runner"
 	"repro/internal/trace"
 )
@@ -87,8 +88,12 @@ type SimSpec struct {
 type SweepSpec struct {
 	// Studies lists the studies to run, in order. Empty means all of
 	// them in the canonical order: assoc, levels, cells, leakage, dpcs,
-	// ablate.
+	// ablate, mechs.
 	Studies []string `json:"studies,omitempty"`
+	// Mechanisms selects the fault-tolerance mechanisms the "mechs"
+	// study compares, by registry name (internal/mechanism). Empty
+	// means every registered mechanism.
+	Mechanisms []string `json:"mechanisms,omitempty"`
 	// Bench is the workload for the dpcs study (default "bzip2.s").
 	Bench string `json:"bench,omitempty"`
 	// SimInstr is the measured window for the simulation-backed studies
@@ -297,6 +302,16 @@ func (s *SweepSpec) validate() error {
 		}
 		seen[st] = true
 	}
+	seenMech := make(map[string]bool, len(s.Mechanisms))
+	for _, m := range s.Mechanisms {
+		if _, ok := mechanism.ByName(m); !ok {
+			return fmt.Errorf("config: unknown mechanism %q (known: %v)", m, mechanism.Names())
+		}
+		if seenMech[m] {
+			return fmt.Errorf("config: mechanism %q listed twice", m)
+		}
+		seenMech[m] = true
+	}
 	if err := validBench(s.Bench); err != nil {
 		return err
 	}
@@ -351,14 +366,15 @@ type defaulter interface {
 // kindParams maps every registered campaign kind to a fresh parameter
 // prototype; NormalizeJob strict-decodes against it.
 var kindParams = map[string]func() defaulter{
-	"cpusim":    func() defaulter { return new(expers.CPUSimParams) },
-	"multicore": func() defaulter { return new(expers.MulticoreParams) },
-	"minvdd":    func() defaulter { return new(expers.MinVDDParams) },
-	"vddlevels": func() defaulter { return new(expers.VDDLevelsParams) },
-	"cells":     func() defaulter { return new(expers.CellsParams) },
-	"leakage":   func() defaulter { return new(expers.LeakageParams) },
-	"ablation":  func() defaulter { return new(expers.AblationParams) },
-	"fig4-cell": func() defaulter { return new(expers.Fig4CellParams) },
+	"cpusim":     func() defaulter { return new(expers.CPUSimParams) },
+	"multicore":  func() defaulter { return new(expers.MulticoreParams) },
+	"minvdd":     func() defaulter { return new(expers.MinVDDParams) },
+	"mechminvdd": func() defaulter { return new(expers.MechMinVDDParams) },
+	"vddlevels":  func() defaulter { return new(expers.VDDLevelsParams) },
+	"cells":      func() defaulter { return new(expers.CellsParams) },
+	"leakage":    func() defaulter { return new(expers.LeakageParams) },
+	"ablation":   func() defaulter { return new(expers.AblationParams) },
+	"fig4-cell":  func() defaulter { return new(expers.Fig4CellParams) },
 }
 
 // KnownKinds returns the campaign kinds the spec layer validates

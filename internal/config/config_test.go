@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/expers"
+	"repro/internal/mechanism"
 )
 
 // TestRoundTripStability checks encode → decode → encode is a fixed
@@ -420,5 +421,75 @@ func TestDigestCanonical(t *testing.T) {
 	}
 	if dc == da {
 		t.Error("seed change did not change digest")
+	}
+}
+
+// TestSweepMechanismValidation checks the sweep section's mechanism
+// selection: unknown and duplicate names must fail Decode with a clear
+// error, and a valid selection parameterises the "mechs" study.
+func TestSweepMechanismValidation(t *testing.T) {
+	if _, err := Decode([]byte(
+		`{"version":1,"sweep":{"studies":["mechs"],"mechanisms":["nosuch"]}}`), JSON); err == nil ||
+		!strings.Contains(err.Error(), "unknown mechanism") {
+		t.Errorf("unknown mechanism error = %v", err)
+	}
+	if _, err := Decode([]byte(
+		`{"version":1,"sweep":{"studies":["mechs"],"mechanisms":["proposed","proposed"]}}`), JSON); err == nil ||
+		!strings.Contains(err.Error(), "listed twice") {
+		t.Errorf("duplicate mechanism error = %v", err)
+	}
+	d, err := Decode([]byte(
+		`{"version":1,"sweep":{"studies":["mechs"],"mechanisms":["tscache","l2c2","proposed"]}}`), JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := d.ExpandCampaign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Jobs) != 3 {
+		t.Fatalf("jobs = %d, want 3 (the selected mechanisms)", len(camp.Jobs))
+	}
+	// Registry rank order, not request order.
+	for i, want := range []string{"mechs/tscache", "mechs/l2c2", "mechs/proposed"} {
+		if camp.Jobs[i].Name != want {
+			t.Errorf("job %d = %q, want %q", i, camp.Jobs[i].Name, want)
+		}
+	}
+}
+
+// TestMechMinVDDJobNormalization checks the mechminvdd campaign kind:
+// NormalizeJob pins the registered mechanism version into the canonical
+// params (so the content-addressed cache key moves when a model is
+// revised), and rejects a stale pin.
+func TestMechMinVDDJobNormalization(t *testing.T) {
+	spec, err := NormalizeJob(Job{Kind: "mechminvdd", Name: "ts",
+		Params: json.RawMessage(`{"mechanism":"tscache"}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p expers.MechMinVDDParams
+	if err := json.Unmarshal(spec.Params, &p); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := mechanism.ByName("tscache")
+	if !ok {
+		t.Fatal("tscache not registered")
+	}
+	if p.MechVersion != d.Version {
+		t.Errorf("normalized mech_version = %q, want registered %q", p.MechVersion, d.Version)
+	}
+	if p.Org != "l1a" || p.NLowVDDs != 2 || p.Yield != 0.99 {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+	if _, err := NormalizeJob(Job{Kind: "mechminvdd",
+		Params: json.RawMessage(`{"mechanism":"tscache","mech_version":"0-stale"}`)}); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Errorf("stale version pin error = %v", err)
+	}
+	if _, err := NormalizeJob(Job{Kind: "mechminvdd",
+		Params: json.RawMessage(`{"mechanism":"nosuch"}`)}); err == nil ||
+		!strings.Contains(err.Error(), "unknown mechanism") {
+		t.Errorf("unknown mechanism error = %v", err)
 	}
 }

@@ -80,7 +80,17 @@ func (s *SimSpec) expand(seed uint64) ([]runner.Spec, error) {
 func (s *SweepSpec) StudyList(seed uint64) ([]expers.Study, error) {
 	studies := make([]expers.Study, 0, len(s.Studies))
 	for _, name := range s.Studies {
-		st, err := expers.StudyByName(name, s.Bench, s.SimInstr, seed)
+		var (
+			st  expers.Study
+			err error
+		)
+		if name == "mechs" && len(s.Mechanisms) > 0 {
+			// The mechs study is the only mechanism-parameterized one;
+			// the spec's selection narrows its comparison set.
+			st, err = expers.MechStudy(s.Mechanisms)
+		} else {
+			st, err = expers.StudyByName(name, s.Bench, s.SimInstr, seed)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -10,12 +10,9 @@ import (
 
 	"repro/internal/cacti"
 	"repro/internal/device"
-	"repro/internal/ecc"
 	"repro/internal/faultmodel"
-	"repro/internal/fftcache"
 	"repro/internal/report"
 	"repro/internal/sram"
-	"repro/internal/waygate"
 )
 
 // Analytical voltage sweep range (V): the studied window of the paper.
@@ -130,36 +127,25 @@ type Fig3aData struct {
 	WayGate  []Fig3aPoint
 }
 
-// fig3a computes Fig. 3a (see the memoizing Fig3a wrapper in memos.go).
+// fig3a computes Fig. 3a as a fixed-shape view over the registry-driven
+// default selection (see Fig3aMechs in mechanisms.go; the memoizing
+// Fig3a wrapper lives in memos.go).
 func fig3a(org cacti.Org, nLowVDDs int) (Fig3aData, *report.Table, error) {
-	cs, err := NewCacheSetup(org, nLowVDDs+1)
+	sel, t, err := Fig3aMechs(org, nLowVDDs, nil)
 	if err != nil {
 		return Fig3aData{}, nil, err
 	}
-	fft := fftcache.New(cs.FM.Geom, cs.BER, fftcache.DefaultParams(), nLowVDDs)
-	wg := waygate.New(cs.CM)
-
-	var d Fig3aData
-	for _, v := range faultmodel.Grid(VLo, VHi) {
-		capP := cs.FM.ExpectedCapacity(v)
-		pw := cs.CMPCS.StaticPower(v, capP).TotalW
-		d.Proposed = append(d.Proposed, Fig3aPoint{VDD: v, Capacity: capP, PowerW: pw})
-		capF := fft.EffectiveCapacity(v)
-		d.FFTCache = append(d.FFTCache, Fig3aPoint{VDD: v, Capacity: capF, PowerW: fft.StaticPower(cs.CM, v)})
+	d := Fig3aData{
+		Proposed: sel.Curve("proposed").Points(),
+		FFTCache: sel.Curve("fftcache").Points(),
 	}
-	caps, watts := wg.PowerCapacityCurve()
-	for i := range caps {
-		d.WayGate = append(d.WayGate, Fig3aPoint{Capacity: caps[i], PowerW: watts[i]})
-	}
-
-	t := report.NewTable(
-		fmt.Sprintf("Fig. 3a — static power vs effective capacity (%s)", org.Name),
-		"VDD (V)", "Proposed cap", "Proposed mW", "FFT cap", "FFT mW")
-	for i, p := range d.Proposed {
-		f := d.FFTCache[i]
-		t.AddRow(fmt.Sprintf("%.2f", p.VDD),
-			fmt.Sprintf("%.4f", p.Capacity), fmt.Sprintf("%.3f", p.PowerW*1e3),
-			fmt.Sprintf("%.4f", f.Capacity), fmt.Sprintf("%.3f", f.PowerW*1e3))
+	for _, s := range sel.Steps {
+		if s.Name != "waygate" {
+			continue
+		}
+		for i := range s.Caps {
+			d.WayGate = append(d.WayGate, Fig3aPoint{Capacity: s.Caps[i], PowerW: s.Watts[i]})
+		}
 	}
 	return d, t, nil
 }
@@ -219,21 +205,21 @@ type Fig3bRow struct {
 	FFTCache float64
 }
 
-// fig3b computes Fig. 3b (see the memoizing Fig3b wrapper in memos.go).
+// fig3b computes Fig. 3b as a fixed-shape view over the registry-driven
+// default selection (see Fig3bMechs in mechanisms.go; the memoizing
+// Fig3b wrapper lives in memos.go).
 func fig3b(org cacti.Org) ([]Fig3bRow, *report.Table, error) {
-	cs, err := NewCacheSetup(org, 3)
+	curves, t, err := Fig3bMechs(org, nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	fft := fftcache.New(cs.FM.Geom, cs.BER, fftcache.DefaultParams(), 2)
+	prop, fft := curveByName(curves, "proposed"), curveByName(curves, "fftcache")
+	if prop == nil || fft == nil {
+		return nil, nil, fmt.Errorf("expers: default mechanism set misses proposed/fftcache")
+	}
 	var rows []Fig3bRow
-	t := report.NewTable(
-		fmt.Sprintf("Fig. 3b — proportion of usable blocks vs VDD (%s)", org.Name),
-		"VDD (V)", "Proposed", "FFT-Cache")
-	for _, v := range faultmodel.Grid(VLo, VHi) {
-		r := Fig3bRow{VDD: v, Proposed: cs.FM.ExpectedCapacity(v), FFTCache: fft.EffectiveCapacity(v)}
-		rows = append(rows, r)
-		t.AddRow(fmt.Sprintf("%.2f", v), fmt.Sprintf("%.4f", r.Proposed), fmt.Sprintf("%.4f", r.FFTCache))
+	for i, v := range prop.VDDs {
+		rows = append(rows, Fig3bRow{VDD: v, Proposed: prop.Capacity[i], FFTCache: fft.Capacity[i]})
 	}
 	return rows, t, nil
 }
@@ -291,35 +277,33 @@ type Fig3dRow struct {
 	Proposed     float64
 }
 
-// fig3d computes Fig. 3d (see the memoizing Fig3d wrapper in memos.go).
+// fig3d computes Fig. 3d as a fixed-shape view over the registry-driven
+// default selection (see Fig3dMechs in mechanisms.go; the memoizing
+// Fig3d wrapper lives in memos.go).
 func fig3d(org cacti.Org) ([]Fig3dRow, *report.Table, error) {
-	cs, err := NewCacheSetup(org, 3)
+	curves, t, err := Fig3dMechs(org, nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	conv := ecc.NewConventional(cs.BER, cs.FM.Geom)
-	sec := ecc.NewSECDED(cs.BER, cs.FM.Geom)
-	dec := ecc.NewDECTED(cs.BER, cs.FM.Geom)
-	fft := fftcache.New(cs.FM.Geom, cs.BER, fftcache.DefaultParams(), 2)
-
-	var rows []Fig3dRow
-	t := report.NewTable(
-		fmt.Sprintf("Fig. 3d — yield vs VDD (%s)", org.Name),
-		"VDD (V)", "Conventional", "SECDED", "DECTED", "FFT-Cache", "Proposed")
-	for _, v := range faultmodel.Grid(VLo, VHi) {
-		r := Fig3dRow{
-			VDD:          v,
-			Conventional: conv.Yield(v),
-			SECDED:       sec.Yield(v),
-			DECTED:       dec.Yield(v),
-			FFTCache:     fft.Yield(v),
-			Proposed:     cs.FM.Yield(v),
+	byName := map[string]*MechCurve{}
+	for _, c := range curves {
+		byName[c.Name] = c
+	}
+	for _, want := range []string{"conventional", "secded", "dected", "fftcache", "proposed"} {
+		if byName[want] == nil {
+			return nil, nil, fmt.Errorf("expers: default mechanism set misses %q", want)
 		}
-		rows = append(rows, r)
-		t.AddRow(fmt.Sprintf("%.2f", v),
-			fmt.Sprintf("%.4f", r.Conventional), fmt.Sprintf("%.4f", r.SECDED),
-			fmt.Sprintf("%.4f", r.DECTED), fmt.Sprintf("%.4f", r.FFTCache),
-			fmt.Sprintf("%.4f", r.Proposed))
+	}
+	var rows []Fig3dRow
+	for i, v := range byName["proposed"].VDDs {
+		rows = append(rows, Fig3dRow{
+			VDD:          v,
+			Conventional: byName["conventional"].Yield[i],
+			SECDED:       byName["secded"].Yield[i],
+			DECTED:       byName["dected"].Yield[i],
+			FFTCache:     byName["fftcache"].Yield[i],
+			Proposed:     byName["proposed"].Yield[i],
+		})
 	}
 	return rows, t, nil
 }
@@ -331,42 +315,11 @@ type MinVDDRow struct {
 	OK     bool
 }
 
-// minVDDs computes the min-VDD table (see the memoizing MinVDDs
-// wrapper in memos.go).
+// minVDDs computes the min-VDD table for the registry's default
+// selection (see MinVDDMechs in mechanisms.go; the memoizing MinVDDs
+// wrapper lives in memos.go).
 func minVDDs(org cacti.Org) ([]MinVDDRow, *report.Table, error) {
-	cs, err := NewCacheSetup(org, 3)
-	if err != nil {
-		return nil, nil, err
-	}
-	conv := ecc.NewConventional(cs.BER, cs.FM.Geom)
-	sec := ecc.NewSECDED(cs.BER, cs.FM.Geom)
-	dec := ecc.NewDECTED(cs.BER, cs.FM.Geom)
-	fft := fftcache.New(cs.FM.Geom, cs.BER, fftcache.DefaultParams(), 2)
-
-	rows := []MinVDDRow{}
-	add := func(name string, v float64, ok bool) {
-		rows = append(rows, MinVDDRow{Scheme: name, MinVDD: v, OK: ok})
-	}
-	v, ok := conv.MinVDD(0.99, VLo, VHi)
-	add("Conventional", v, ok)
-	v, ok = sec.MinVDD(0.99, VLo, VHi)
-	add("SECDED", v, ok)
-	v, ok = dec.MinVDD(0.99, VLo, VHi)
-	add("DECTED", v, ok)
-	v, ok = fft.MinVDDForYield(0.99, VLo, VHi)
-	add("FFT-Cache", v, ok)
-	v, ok = cs.FM.MinVDDForYield(0.99, VLo, VHi)
-	add("Proposed", v, ok)
-
-	t := report.NewTable(fmt.Sprintf("Min-VDD at 99%% yield (%s)", org.Name), "Scheme", "Min VDD (V)")
-	for _, r := range rows {
-		cell := "n/a"
-		if r.OK {
-			cell = fmt.Sprintf("%.2f", r.MinVDD)
-		}
-		t.AddRow(r.Scheme, cell)
-	}
-	return rows, t, nil
+	return MinVDDMechs(org, nil)
 }
 
 // --- TAB-AREA: area overheads ---
@@ -380,13 +333,14 @@ type AreaRow struct {
 	OverheadFraction float64
 }
 
-// areaOverheads computes the area-overhead table (see the memoizing
-// AreaOverheads wrapper in memos.go).
-func areaOverheads() ([]AreaRow, *report.Table, error) {
+// areaOverheads computes the area-overhead table over a set of
+// organisations (see the memoizing AreaOverheads/AreaOverheadsFor
+// wrappers in memos.go).
+func areaOverheads(orgs []cacti.Org) ([]AreaRow, *report.Table, error) {
 	var rows []AreaRow
 	t := report.NewTable("Area overheads of the PCS mechanism (Sec. 4.2)",
 		"Cache", "Baseline mm²", "Fault map mm²", "Power gates mm²", "Overhead %")
-	for _, org := range AllOrgs() {
+	for _, org := range orgs {
 		cs, err := NewCacheSetup(org, 3)
 		if err != nil {
 			return nil, nil, err

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpusim"
 	"repro/internal/faultmodel"
+	"repro/internal/mechanism"
 	"repro/internal/multicore"
 	"repro/internal/obs"
 	"repro/internal/runner"
@@ -32,6 +33,10 @@ import (
 //	cpusim     one single-core simulation (CPUSimParams → CPUSimOutput)
 //	multicore  one multi-core simulation (MulticoreParams → MulticoreOutput)
 //	minvdd     analytical min-VDD for a cache geometry (MinVDDParams → MinVDDOutput)
+//	mechminvdd analytical summary of one registered fault-tolerance
+//	           mechanism: min-VDD at a yield target plus the capacity,
+//	           static power and area cost there (MechMinVDDParams →
+//	           MechMinVDDOutput)
 //	vddlevels  fault-map cost and SPCS power vs level count (VDDLevelsParams → VDDLevelsOutput)
 //	cells      bit-cell design comparison (CellsParams → []CellRow)
 //	leakage    leakage-technique comparison (LeakageParams → []LeakageRow)
@@ -56,6 +61,7 @@ func RegisterCampaignKinds(reg *runner.Registry) {
 	mcInfo.NewWorkerState = nil
 	reg.MustRegisterKind("multicore", runMulticoreJob, mcInfo)
 	reg.MustRegisterKind("minvdd", runMinVDDJob, kindInfo[MinVDDOutput](false))
+	reg.MustRegisterKind("mechminvdd", runMechMinVDDJob, kindInfo[MechMinVDDOutput](false))
 	reg.MustRegisterKind("vddlevels", runVDDLevelsJob, kindInfo[VDDLevelsOutput](false))
 	reg.MustRegisterKind("cells", runCellsJob, kindInfo[[]CellRow](false))
 	reg.MustRegisterKind("leakage", runLeakageJob, kindInfo[[]LeakageRow](true))
@@ -100,18 +106,19 @@ func systemConfigByName(name string) (cpusim.SystemConfig, error) {
 	}
 }
 
-// modeByName resolves a policy mode name (case-insensitive).
+// modeByName resolves a policy mode name (case-insensitive) through
+// the mechanism package's policy registry, keeping mechanism and policy
+// selection on one plugin surface.
 func modeByName(name string) (core.Mode, error) {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "", "baseline":
-		return core.Baseline, nil
-	case "spcs":
-		return core.SPCS, nil
-	case "dpcs":
-		return core.DPCS, nil
-	default:
+	lookup := name
+	if strings.TrimSpace(lookup) == "" {
+		lookup = "baseline"
+	}
+	p, ok := mechanism.PolicyByName(lookup)
+	if !ok {
 		return 0, fmt.Errorf("expers: unknown mode %q (want baseline, SPCS or DPCS)", name)
 	}
+	return p.Mode(), nil
 }
 
 // CPUSimParams parameterise one "cpusim" job.
@@ -417,6 +424,134 @@ func runMinVDDJob(ctx context.Context, _ uint64, params json.RawMessage) (any, e
 	}
 	out.MinVDD, out.OK = m.MinVDDForYield(p.Yield, p.VMin, p.VMax)
 	if !out.OK {
+		out.MinVDD = 0
+	}
+	return out, nil
+}
+
+// MechMinVDDParams parameterise one "mechminvdd" job: the analytical
+// summary of one registered fault-tolerance mechanism on a Table-2
+// cache organisation.
+type MechMinVDDParams struct {
+	// Org selects the cache organisation: "l1a" (default), "l2a",
+	// "l1b" or "l2b".
+	Org string `json:"org,omitempty"`
+	// Mechanism names a registry entry (internal/mechanism).
+	Mechanism string `json:"mechanism"`
+	// MechVersion pins the mechanism model version the result was
+	// computed under. It is filled from the registry by ApplyDefaults
+	// and participates in the content-addressed cache key, so bumping a
+	// registered Version invalidates every stored cell of that
+	// mechanism instead of silently serving stale numbers.
+	MechVersion string `json:"mech_version,omitempty"`
+	// NLowVDDs is the number of low-voltage levels fault-map-carrying
+	// mechanisms pay for (default 2: the paper's three-level ladder).
+	NLowVDDs int     `json:"n_low_vdds,omitempty"`
+	Yield    float64 `json:"yield,omitempty"` // default 0.99
+	VMin     float64 `json:"v_min,omitempty"` // default 0.30
+	VMax     float64 `json:"v_max,omitempty"` // default 1.00
+}
+
+// ApplyDefaults fills the documented defaults and pins MechVersion to
+// the registered version when the spec left it open.
+func (p *MechMinVDDParams) ApplyDefaults() {
+	if p.Org == "" {
+		p.Org = "l1a"
+	}
+	if p.Mechanism == "" {
+		p.Mechanism = "proposed"
+	}
+	if p.NLowVDDs == 0 {
+		p.NLowVDDs = 2
+	}
+	if p.Yield == 0 {
+		p.Yield = 0.99
+	}
+	if p.VMin == 0 {
+		p.VMin = VLo
+	}
+	if p.VMax == 0 {
+		p.VMax = VHi
+	}
+	if p.MechVersion == "" {
+		if d, ok := mechanism.ByName(p.Mechanism); ok {
+			p.MechVersion = d.Version
+		}
+	}
+}
+
+// Validate checks the params name a known organisation and mechanism
+// and pin the mechanism version currently registered (after
+// ApplyDefaults).
+func (p *MechMinVDDParams) Validate() error {
+	if _, err := OrgByName(p.Org); err != nil {
+		return err
+	}
+	d, ok := mechanism.ByName(p.Mechanism)
+	if !ok {
+		return fmt.Errorf("expers: unknown mechanism %q (known: %v)", p.Mechanism, mechanism.Names())
+	}
+	if p.MechVersion != d.Version {
+		return fmt.Errorf("expers: mechanism %q is version %s, params pin %s", p.Mechanism, d.Version, p.MechVersion)
+	}
+	if p.NLowVDDs < 1 {
+		return fmt.Errorf("expers: mechminvdd job needs n_low_vdds >= 1")
+	}
+	if p.Yield <= 0 || p.Yield > 1 {
+		return fmt.Errorf("expers: mechminvdd yield %v outside (0, 1]", p.Yield)
+	}
+	return nil
+}
+
+// MechMinVDDOutput is the deterministic record of one "mechminvdd" job.
+type MechMinVDDOutput struct {
+	Mechanism   string  `json:"mechanism"`
+	Label       string  `json:"label"`
+	MechVersion string  `json:"mech_version"`
+	Org         string  `json:"org"`
+	Yield       float64 `json:"yield"`
+	// OK is false when no voltage in [v_min, v_max] meets the yield.
+	OK     bool    `json:"ok"`
+	MinVDD float64 `json:"min_vdd,omitempty"`
+	// CapacityAtMin / StaticPowerAtMinW describe the operating point at
+	// MinVDD (static power on the org's shared baseline model).
+	CapacityAtMin     float64 `json:"capacity_at_min,omitempty"`
+	StaticPowerAtMinW float64 `json:"static_power_at_min_w,omitempty"`
+	AreaOverheadFrac  float64 `json:"area_overhead_frac"`
+}
+
+func runMechMinVDDJob(ctx context.Context, _ uint64, params json.RawMessage) (any, error) {
+	var p MechMinVDDParams
+	if err := decodeParams(params, &p); err != nil {
+		return nil, err
+	}
+	p.ApplyDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	org, _ := OrgByName(p.Org)
+	d, _ := mechanism.ByName(p.Mechanism)
+	cs, err := NewCacheSetup(org, p.NLowVDDs+1)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mechanismFor(org, p.NLowVDDs, d)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := MechMinVDDOutput{
+		Mechanism: d.Name, Label: d.Label, MechVersion: d.Version,
+		Org: org.Name, Yield: p.Yield,
+		AreaOverheadFrac: m.AreaOverhead().Fraction,
+	}
+	out.MinVDD, out.OK = m.MinVDDForYield(p.Yield, p.VMin, p.VMax)
+	if out.OK {
+		out.CapacityAtMin = m.EffectiveCapacity(out.MinVDD)
+		out.StaticPowerAtMinW = m.StaticPower(cs.CM, out.MinVDD)
+	} else {
 		out.MinVDD = 0
 	}
 	return out, nil

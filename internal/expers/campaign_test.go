@@ -15,7 +15,7 @@ import (
 
 func TestCampaignRegistryKinds(t *testing.T) {
 	reg := NewCampaignRegistry()
-	want := []string{"ablation", "cells", "cpusim", "fig4-cell", "leakage", "minvdd", "multicore", "vddlevels"}
+	want := []string{"ablation", "cells", "cpusim", "fig4-cell", "leakage", "mechminvdd", "minvdd", "multicore", "vddlevels"}
 	got := reg.Kinds()
 	if len(got) != len(want) {
 		t.Fatalf("kinds = %v, want %v", got, want)

@@ -23,11 +23,16 @@ type CellRow struct {
 	StaticPowerAtSPCS float64 // relative to 6T nominal (leakage factor applied)
 }
 
-// cellComparison computes the bit-cell comparison (see the memoizing
-// CellComparison wrapper in memos.go).
-func cellComparison() ([]CellRow, *report.Table, error) {
+// CellGeometry is the canonical bit-cell study geometry: the Config-A
+// L1 cache (64 KB, 4-way, 64 B blocks).
+func CellGeometry() faultmodel.Geometry {
+	return faultmodel.Geometry{Sets: 256, Ways: 4, BlockBits: 512}
+}
+
+// cellComparison computes the bit-cell comparison on a geometry (see
+// the memoizing CellComparison/CellComparisonFor wrappers in memos.go).
+func cellComparison(geom faultmodel.Geometry) ([]CellRow, *report.Table, error) {
 	base := sram.NewWangCalhounBER()
-	geom := faultmodel.Geometry{Sets: 256, Ways: 4, BlockBits: 512}
 	var rows []CellRow
 	for _, ct := range []sram.CellType{sram.Cell6T, sram.Cell8T, sram.Cell10T} {
 		p := sram.Cells(ct)

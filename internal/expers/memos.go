@@ -1,6 +1,7 @@
 package expers
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/cacti"
@@ -51,10 +52,27 @@ type (
 	fig3cKey    struct{ org cacti.Org }
 	fig3dKey    struct{ org cacti.Org }
 	minVDDsKey  struct{ org cacti.Org }
-	areaKey     struct{}
+	areaKey     struct{ digest string }
 	vddPlansKey struct{}
-	cellsKey    struct{}
+	cellsKey    struct{ digest string }
 )
+
+// orgsDigest canonically identifies a list of cache organisations, so
+// memo entries hit on equal setups however the values were constructed
+// (never on pointer or slice identity).
+func orgsDigest(orgs []cacti.Org) string {
+	s := ""
+	for _, org := range orgs {
+		s += fmt.Sprintf("%s/%dB/%dw/%dB/a%d/serial=%t;",
+			org.Name, org.SizeBytes, org.Assoc, org.BlockBytes, org.AddrBits, org.SerialTagData)
+	}
+	return s
+}
+
+// geomDigest canonically identifies a fault-model geometry.
+func geomDigest(g faultmodel.Geometry) string {
+	return fmt.Sprintf("%ds/%dw/%db", g.Sets, g.Ways, g.BlockBits)
+}
 
 // rowsAndTable pairs a figure's data rows with its rendered table so
 // one memo entry serves both return values.
@@ -156,12 +174,28 @@ func MinVDDs(org cacti.Org) ([]MinVDDRow, *report.Table, error) {
 	return v.rows, v.t, err
 }
 
+// allOrgsDigest is precomputed so the hot AreaOverheads() wrapper skips
+// re-digesting the fixed Table-2 organisation list on every call (the
+// steady-state alloc budget is 10 per entry point).
+var allOrgsDigest = orgsDigest(AllOrgs())
+
 // AreaOverheads regenerates the Sec. 4.2 area-overhead estimates for all
 // four cache organisations (paper: 2–5 % total, fault map ≤ 4 %,
 // gates < 1 %).
 func AreaOverheads() ([]AreaRow, *report.Table, error) {
-	v, err := memo.Get(memos.Load(), areaKey{}, func() (rowsAndTable[[]AreaRow], error) {
-		rows, t, err := areaOverheads()
+	return areaOverheadsKeyed(allOrgsDigest, AllOrgs)
+}
+
+// AreaOverheadsFor computes the Sec. 4.2 area-overhead estimates for an
+// arbitrary organisation list, memoized by the list's canonical digest:
+// two distinctly-constructed but equal inputs share one entry.
+func AreaOverheadsFor(orgs []cacti.Org) ([]AreaRow, *report.Table, error) {
+	return areaOverheadsKeyed(orgsDigest(orgs), func() []cacti.Org { return orgs })
+}
+
+func areaOverheadsKeyed(digest string, orgs func() []cacti.Org) ([]AreaRow, *report.Table, error) {
+	v, err := memo.Get(memos.Load(), areaKey{digest: digest}, func() (rowsAndTable[[]AreaRow], error) {
+		rows, t, err := areaOverheads(orgs())
 		return rowsAndTable[[]AreaRow]{rows: rows, t: t}, err
 	})
 	return v.rows, v.t, err
@@ -180,8 +214,14 @@ func VDDPlans() ([]VDDPlanRow, *report.Table, error) {
 // CellComparison evaluates 6T, 8T and 10T cells with and without the PCS
 // mechanism on the Config-A L1 geometry.
 func CellComparison() ([]CellRow, *report.Table, error) {
-	v, err := memo.Get(memos.Load(), cellsKey{}, func() (rowsAndTable[[]CellRow], error) {
-		rows, t, err := cellComparison()
+	return CellComparisonFor(CellGeometry())
+}
+
+// CellComparisonFor evaluates the bit-cell designs on an arbitrary
+// geometry, memoized by the geometry's canonical digest.
+func CellComparisonFor(geom faultmodel.Geometry) ([]CellRow, *report.Table, error) {
+	v, err := memo.Get(memos.Load(), cellsKey{digest: geomDigest(geom)}, func() (rowsAndTable[[]CellRow], error) {
+		rows, t, err := cellComparison(geom)
 		return rowsAndTable[[]CellRow]{rows: rows, t: t}, err
 	})
 	return v.rows, v.t, err

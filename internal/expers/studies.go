@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/mechanism"
 	"repro/internal/report"
 	"repro/internal/runner"
 )
@@ -231,10 +232,57 @@ func DPCSStudy(bench string, instr uint64, seed uint64) Study {
 	}
 }
 
+// MechStudy compares registered fault-tolerance mechanisms on the
+// Config-A L1 cache: one "mechminvdd" job per mechanism, in registry
+// rank order. names selects mechanisms as in `pcs analytical
+// -mechanisms`; nil compares every registered mechanism (not just the
+// paper's default set — the study is the registry's summary view).
+func MechStudy(names []string) (Study, error) {
+	sel := names
+	if len(sel) == 0 {
+		sel = mechanism.Names()
+	}
+	ds, err := mechanism.Resolve(sel)
+	if err != nil {
+		return Study{}, err
+	}
+	var jobs []runner.Spec
+	for _, d := range ds {
+		jobs = append(jobs, newSpec("mechminvdd", d.Name, MechMinVDDParams{
+			Org: "l1a", Mechanism: d.Name, MechVersion: d.Version,
+			NLowVDDs: 2, Yield: 0.99, VMin: VLo, VMax: VHi,
+		}))
+	}
+	return Study{
+		Name: "mechs",
+		Jobs: jobs,
+		Table: func(results []runner.JobResult) (*report.Table, error) {
+			t := report.NewTable("Fault-tolerance mechanisms at 99% yield (L1-A)",
+				"Mechanism", "Version", "Min VDD (V)", "Capacity", "Static mW", "Area +%")
+			for i := range ds {
+				out, err := jobOutput[MechMinVDDOutput](results, i)
+				if err != nil {
+					return nil, err
+				}
+				minV, capacity, power := "n/a", "n/a", "n/a"
+				if out.OK {
+					minV = fmt.Sprintf("%.2f", out.MinVDD)
+					capacity = fmt.Sprintf("%.4f", out.CapacityAtMin)
+					power = fmt.Sprintf("%.3f", out.StaticPowerAtMinW*1e3)
+				}
+				t.AddRow(out.Label, out.MechVersion, minV, capacity, power,
+					fmt.Sprintf("%.2f", out.AreaOverheadFrac*100))
+			}
+			return t, nil
+		},
+	}, nil
+}
+
 // StudyNames is the canonical study order of a full sweep — the order
-// the historical pcs-sweep binary ran them in.
+// the historical pcs-sweep binary ran them in, plus the mechanism
+// registry summary.
 func StudyNames() []string {
-	return []string{"assoc", "levels", "cells", "leakage", "dpcs", "ablate"}
+	return []string{"assoc", "levels", "cells", "leakage", "dpcs", "ablate", "mechs"}
 }
 
 // StudyByName builds the named study with the given workload and window
@@ -254,6 +302,8 @@ func StudyByName(name, bench string, instr, seed uint64) (Study, error) {
 		return DPCSStudy(bench, instr, seed), nil
 	case "ablate":
 		return AblationStudy(instr, seed), nil
+	case "mechs":
+		return MechStudy(nil)
 	default:
 		return Study{}, fmt.Errorf("expers: unknown study %q (known: %v)", name, StudyNames())
 	}

@@ -1,0 +1,32 @@
+package mechanism
+
+import (
+	"math"
+
+	"repro/internal/cacti"
+	"repro/internal/device"
+)
+
+// powInt is math.Pow for small positive integer exponents.
+func powInt(x float64, n int) float64 {
+	return math.Pow(x, float64(n))
+}
+
+// expLog1p returns (1+x)^n computed in log space (x near 0, n large).
+func expLog1p(n int, x float64) float64 {
+	return math.Exp(float64(n) * math.Log1p(x))
+}
+
+// dataCellLeakW returns the leakage of `cells` RVT-equivalent data
+// cells at the given voltage, using cm's calibration.
+func dataCellLeakW(cm *cacti.Model, vdd, cells float64) float64 {
+	return cells * cm.Params.CellLeakEquiv * cm.Tech.LeakagePower(device.RVT, vdd)
+}
+
+// nominalFloorW returns the shared always-on floor every scheme pays in
+// the Fig. 3a component model: data periphery plus the tag array, both
+// at nominal VDD.
+func nominalFloorW(cm *cacti.Model) float64 {
+	base := cm.StaticPower(cm.Tech.VDDNom, 1)
+	return base.DataPeripheryW + base.TagW
+}

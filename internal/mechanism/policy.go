@@ -1,0 +1,77 @@
+package mechanism
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Policy is one power/capacity scaling policy: how (not whether) a
+// PCS-capable cache moves between its voltage levels at run time. The
+// spec layer's mode names resolve through this registry, so policy and
+// mechanism selection share one plugin surface.
+type Policy interface {
+	// Name is the registry key (lowercase).
+	Name() string
+	// Mode is the simulator mode the policy drives.
+	Mode() core.Mode
+	// Summary is a one-line description.
+	Summary() string
+}
+
+type policyEntry struct {
+	name    string
+	mode    core.Mode
+	summary string
+}
+
+func (p policyEntry) Name() string    { return p.name }
+func (p policyEntry) Mode() core.Mode { return p.mode }
+func (p policyEntry) Summary() string { return p.summary }
+
+var (
+	polMu     sync.RWMutex
+	policies  []Policy
+	polByName = map[string]Policy{}
+)
+
+// RegisterPolicy adds a scaling policy; names are matched
+// case-insensitively by PolicyByName.
+func RegisterPolicy(name string, mode core.Mode, summary string) {
+	polMu.Lock()
+	defer polMu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := polByName[key]; dup {
+		panic("mechanism: policy " + name + " already registered")
+	}
+	p := policyEntry{name: key, mode: mode, summary: summary}
+	policies = append(policies, p)
+	polByName[key] = p
+}
+
+// Policies returns every registered policy in registration order.
+func Policies() []Policy {
+	polMu.RLock()
+	defer polMu.RUnlock()
+	out := make([]Policy, len(policies))
+	copy(out, policies)
+	return out
+}
+
+// PolicyByName resolves a policy name, case-insensitively.
+func PolicyByName(name string) (Policy, bool) {
+	polMu.RLock()
+	defer polMu.RUnlock()
+	p, ok := polByName[strings.ToLower(strings.TrimSpace(name))]
+	return p, ok
+}
+
+func init() {
+	RegisterPolicy("baseline", core.Baseline,
+		"no scaling: the cache stays at nominal VDD")
+	RegisterPolicy("spcs", core.SPCS,
+		"static PCS: drop once to the 99%-capacity voltage (VDD2)")
+	RegisterPolicy("dpcs", core.DPCS,
+		"dynamic PCS: sample miss rates and move across VDD levels at run time")
+}

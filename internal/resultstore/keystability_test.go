@@ -1,0 +1,86 @@
+package resultstore
+
+import "testing"
+
+// TestKeyGoldenFixtures pins the content-addressed key derivation to
+// known hex values. The key function is the store's wire format: a
+// change here silently orphans every cached cell on disk, so any
+// intentional change to the derivation must update these fixtures in
+// the same commit and state that the cache is being invalidated.
+func TestKeyGoldenFixtures(t *testing.T) {
+	cases := []struct {
+		name   string
+		kind   string
+		params string
+		seed   uint64
+		ver    string
+		want   string
+	}{
+		{
+			name:   "mechminvdd proposed v1",
+			kind:   "mechminvdd",
+			params: `{"org":"l1a","mechanism":"proposed","mech_version":"1","n_low_vdds":2,"yield":0.99,"v_min":0.3,"v_max":1}`,
+			seed:   1,
+			ver:    "v0",
+			want:   "ae9b8f3d4f7dd8773571d6470e4f776d533a64543bea48d9b3991a2d964af63d",
+		},
+		{
+			name:   "minvdd geometry cell",
+			kind:   "minvdd",
+			params: `{"size_bytes":32768,"ways":4,"block_bytes":64}`,
+			seed:   1,
+			ver:    "v0",
+			want:   "063fe2619376800b12959a8c8c6b5d566b09bd6c363a168b94df77ed75e7d5e6",
+		},
+		{
+			name:   "empty params",
+			kind:   "cpusim",
+			params: `{}`,
+			seed:   7,
+			ver:    "dev",
+			want:   "678b548782786f0d2c77d4866937930ebb91c410e3ece764f30756da18edf40c",
+		},
+	}
+	for _, c := range cases {
+		got, err := Key(c.kind, []byte(c.params), c.seed, c.ver)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: key = %s, want %s (key derivation changed — this orphans every stored result)",
+				c.name, got, c.want)
+		}
+	}
+}
+
+// TestKeyMechVersionBump checks the mechanism-version pin does its job
+// at the store layer: a mechminvdd params document differing only in
+// mech_version must miss the cache (different key), while a
+// field-reordered but semantically identical document must hit.
+func TestKeyMechVersionBump(t *testing.T) {
+	v1 := `{"org":"l1a","mechanism":"proposed","mech_version":"1","n_low_vdds":2,"yield":0.99,"v_min":0.3,"v_max":1}`
+	v1reordered := `{"mech_version":"1","mechanism":"proposed","n_low_vdds":2,"org":"l1a","v_max":1,"v_min":0.3,"yield":0.99}`
+	v2 := `{"org":"l1a","mechanism":"proposed","mech_version":"2","n_low_vdds":2,"yield":0.99,"v_min":0.3,"v_max":1}`
+
+	k1, err := Key("mechminvdd", []byte(v1), 1, "v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr, err := Key("mechminvdd", []byte(v1reordered), 1, "v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kr != k1 {
+		t.Error("field order changed the key: canonicalisation is broken")
+	}
+	k2, err := Key("mechminvdd", []byte(v2), 1, "v0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 == k1 {
+		t.Error("mech_version bump did not miss the cache: stale mechanism results would be served")
+	}
+	if k2 != "e5f7fc89acfc492b60157f8190be8008cdc046a7109195576479cca8474156af" {
+		t.Errorf("bumped-version key = %s drifted from its fixture", k2)
+	}
+}

@@ -38,6 +38,14 @@ go test -count=1 -run 'TestAnalyticalSteadyStateAllocs' ./internal/expers
 go test -count=1 -run 'TestArenaDifferential' ./internal/expers
 go test -count=1 -race -run 'TestTableConcurrentReads' ./internal/memo
 
+# Mechanism-registry gates (DESIGN.md §14): every registered mechanism
+# must surface in the Fig. 3 comparison surfaces its capability flags
+# promise, the "mechs" study must cover the registry, and the adapters
+# must reproduce the pre-registry model call paths float-for-float.
+go test -count=1 -run 'TestRegistryCompleteness|TestMechStudyCoversRegistry|TestDefaultSelectionMatchesLegacy' ./internal/expers
+go test -count=1 -run 'TestAdapterDifferential' ./internal/mechanism
+go test -count=1 -run 'TestKeyGoldenFixtures|TestKeyMechVersionBump' ./internal/resultstore
+
 # Campaign-cell throughput smoke: one cold and one warm pass of the
 # mixed grid so the end-to-end cells/sec benchmark stays runnable; the
 # archived numbers come from `make bench`.

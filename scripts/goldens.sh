@@ -9,6 +9,10 @@ cd "$(dirname "$0")/.."
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT INT TERM
 
+echo "goldens: analytical"
+go run ./cmd/pcs analytical -fig2 -fig3a -fig3b -fig3c -fig3d -area -vdd > "$tmp/analytical.txt"
+cmp analytical_output.txt "$tmp/analytical.txt"
+
 echo "goldens: fig4 (cold, cached)"
 go run ./cmd/pcs sim -q -spec examples/fig4.json -cache "$tmp/cache" > "$tmp/fig4.txt"
 cmp fig4_output.txt "$tmp/fig4.txt"
